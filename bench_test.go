@@ -1,0 +1,101 @@
+// Package osnt_test holds the repository-level benchmark harness: one
+// benchmark per experiment table/figure in DESIGN.md (E1–E8). Each
+// iteration regenerates the corresponding table from scratch, so
+// `go test -bench=. -benchmem` both exercises the full stack and reports
+// how much host CPU a complete experiment costs. The tables themselves
+// are printed by `go run ./cmd/osnt-bench` and recorded in
+// EXPERIMENTS.md.
+package osnt_test
+
+import (
+	"testing"
+
+	"osnt/internal/experiments"
+	"osnt/internal/sim"
+)
+
+// short durations keep a single benchmark iteration around the hundreds
+// of milliseconds of host time while preserving every experiment's shape.
+const (
+	// E1 needs a window long enough that losing the packet straddling the
+	// window edge stays under the 0.1% line-rate tolerance.
+	benchE1Dur = sim.Millisecond
+	benchE2Dur = 60 * sim.Second
+	benchE3Dur = 5 * sim.Millisecond
+	benchE7Dur = 5 * sim.Millisecond
+)
+
+func BenchmarkE1LineRate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E1LineRate(benchE1Dur)
+		for _, row := range tbl.Rows {
+			if row[5] != "true" {
+				b.Fatalf("line rate missed: %v", row)
+			}
+		}
+	}
+}
+
+func BenchmarkE2ClockDiscipline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.E2ClockDiscipline(benchE2Dur); len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkE3SwitchLatency(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.E3SwitchLatency(benchE3Dur); len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkE4FlowModLatency(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.E4FlowModLatency(); len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkE5Consistency(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.E5Consistency(); len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkE6TimestampNoise(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.E6TimestampNoise(500); len(tbl.Rows) != 2 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+func BenchmarkE7CapturePath(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.E7CapturePath(benchE7Dur); len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkE8ControlUnderLoad(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.E8ControlUnderLoad(); len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}

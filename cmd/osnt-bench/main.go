@@ -1,0 +1,60 @@
+// Command osnt-bench regenerates the paper's evaluation: every experiment
+// table from DESIGN.md (E1–E8) printed to stdout. Use -e to select a
+// single experiment.
+//
+// Usage:
+//
+//	osnt-bench             # run everything
+//	osnt-bench -e e3       # Demo Part I only
+//	osnt-bench -list       # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"osnt/internal/experiments"
+	"osnt/internal/stats"
+)
+
+var runners = []struct {
+	id   string
+	desc string
+	run  func() *stats.Table
+}{
+	{"e1", "line-rate generation vs frame size", func() *stats.Table { return experiments.E1LineRate(0) }},
+	{"e2", "GPS clock discipline", func() *stats.Table { return experiments.E2ClockDiscipline(0) }},
+	{"e3", "legacy switch latency vs load (Demo Part I)", func() *stats.Table { return experiments.E3SwitchLatency(0) }},
+	{"e4", "flow_mod control vs data plane latency (Demo Part II)", experiments.E4FlowModLatency},
+	{"e5", "forwarding consistency during updates (Demo Part II)", experiments.E5Consistency},
+	{"e6", "timestamp noise: hardware vs software", func() *stats.Table { return experiments.E6TimestampNoise(0) }},
+	{"e7", "loss-limited capture path", func() *stats.Table { return experiments.E7CapturePath(0) }},
+	{"e8", "control channel under dataplane load", experiments.E8ControlUnderLoad},
+}
+
+func main() {
+	sel := flag.String("e", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-4s %s\n", r.id, r.desc)
+		}
+		return
+	}
+	ran := 0
+	for _, r := range runners {
+		if *sel != "" && !strings.EqualFold(*sel, r.id) {
+			continue
+		}
+		fmt.Println(r.run().String())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "osnt-bench: unknown experiment %q (try -list)\n", *sel)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,109 @@
+// Capture pipeline walkthrough: hardware wildcard filters, per-rule
+// packet thinning, hashing and the loss-limited host path.
+//
+// A mixed workload (DNS-ish UDP, web-ish TCP, bulk UDP) is captured with
+// a three-rule filter table: DNS is captured in full, web traffic is
+// thinned to headers, bulk traffic is dropped in hardware. The final
+// report shows per-rule hit counters and demonstrates that the host path
+// stays lossless because the filters shed the bulk.
+//
+//	go run ./examples/capture-filter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"osnt/internal/filter"
+	"osnt/internal/gen"
+	"osnt/internal/mon"
+	"osnt/internal/netfpga"
+	"osnt/internal/packet"
+	"osnt/internal/sim"
+	"osnt/internal/wire"
+)
+
+func main() {
+	engine := sim.NewEngine()
+	txCard := netfpga.New(engine, netfpga.Config{})
+	rxCard := netfpga.New(engine, netfpga.Config{})
+	txCard.Port(0).SetLink(wire.NewLink(engine, wire.Rate10G, 0, rxCard.Port(0)))
+
+	// Hardware filter table, first match wins.
+	rules := filter.NewTable(filter.Drop)
+	must(rules.Append(&filter.Rule{
+		Name: "dns-full", Action: filter.Capture,
+		Proto: packet.ProtoUDP, DstPortMin: 53, DstPortMax: 53,
+	}))
+	must(rules.Append(&filter.Rule{
+		Name: "web-headers", Action: filter.Capture,
+		Proto: packet.ProtoTCP, DstPortMin: 80, DstPortMax: 80,
+		SnapLen: 64, // per-rule packet thinning
+	}))
+	must(rules.Append(&filter.Rule{
+		Name: "bulk-drop", Action: filter.Drop, Proto: packet.ProtoUDP,
+	}))
+
+	byLen := map[int]int{}
+	monitor := mon.Attach(rxCard.Port(0), mon.Config{
+		Filters:   rules,
+		HashBytes: 64,
+		Sink:      func(rec mon.Record) { byLen[len(rec.Data)]++ },
+	})
+
+	// Build the mixed workload: one template per class, round-robin.
+	mkUDP := func(dport uint16, size int) *wire.Frame {
+		return wire.NewFrame(packet.UDPSpec{
+			SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packet.MAC{2, 0, 0, 0, 0, 2},
+			SrcIP: packet.IP4{10, 0, 0, 1}, DstIP: packet.IP4{10, 0, 0, 2},
+			SrcPort: 4000, DstPort: dport, FrameSize: size,
+		}.Build())
+	}
+	web := wire.NewFrame(packet.TCPSpec{
+		SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packet.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: packet.IP4{10, 0, 0, 1}, DstIP: packet.IP4{10, 0, 0, 2},
+		SrcPort: 4001, DstPort: 80, Flags: packet.TCPAck,
+		Payload: make([]byte, 400),
+	}.Build())
+	workload := &gen.SliceSource{
+		Frames: []*wire.Frame{
+			mkUDP(53, 128),    // DNS
+			web,               // web
+			mkUDP(9999, 1518), // bulk
+		},
+		Loop: true,
+	}
+
+	g, err := gen.New(txCard.Port(0), gen.Config{
+		Source:  workload,
+		Spacing: gen.CBRForLoad(1518, wire.Rate10G, 0.9),
+		Count:   30000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g.Start(0)
+	engine.Run()
+
+	fmt.Println("filter table:")
+	for i := 0; i < rules.Len(); i++ {
+		fmt.Printf("  %-40s hits=%d\n", rules.Rule(i).String(), rules.Hits(i))
+	}
+	fmt.Printf("  (default %s) hits=%d\n", rules.DefaultAction, rules.DefaultHits())
+	fmt.Printf("\npipeline: seen=%d filtered=%d accepted=%d ring-drops=%d delivered=%d\n",
+		monitor.Seen().Packets, monitor.Filtered(), monitor.Accepted().Packets,
+		monitor.RingDrops(), monitor.Delivered().Packets)
+	fmt.Println("\ncaptured record sizes (thinning at work):")
+	for l, n := range byLen {
+		fmt.Printf("  %4d bytes x %d\n", l, n)
+	}
+	if monitor.RingDrops() == 0 {
+		fmt.Println("\nhost path lossless: hardware filtering shed the bulk traffic")
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package core is the OSNT host API: the paper's "simple and
+// programmer-friendly API to control the traffic generation and
+// monitoring functionality of the OSNT design, enabling the realisation
+// of high precision and throughput measurement tests in software".
+//
+// A Device wraps one simulated NetFPGA-10G card and hands out per-port
+// generators and monitors. On top of that the package provides the two
+// measurements the demo performs on switches: latency (from embedded
+// transmit timestamps, Demo Part I) and achievable throughput.
+package core
+
+import (
+	"fmt"
+
+	"osnt/internal/gen"
+	"osnt/internal/mon"
+	"osnt/internal/netfpga"
+	"osnt/internal/packet"
+	"osnt/internal/sim"
+	"osnt/internal/stats"
+	"osnt/internal/wire"
+)
+
+// Device is one OSNT tester: a NetFPGA-10G card plus the host-side
+// generator/monitor drivers.
+type Device struct {
+	Engine *sim.Engine
+	Card   *netfpga.Card
+
+	gens map[int]*gen.Generator
+	mons map[int]*mon.Monitor
+}
+
+// NewDevice builds a tester on the engine.
+func NewDevice(e *sim.Engine, cfg netfpga.Config) *Device {
+	return &Device{
+		Engine: e,
+		Card:   netfpga.New(e, cfg),
+		gens:   make(map[int]*gen.Generator),
+		mons:   make(map[int]*mon.Monitor),
+	}
+}
+
+// ConfigureGenerator installs a traffic generator on a port, replacing
+// any previous one.
+func (d *Device) ConfigureGenerator(port int, cfg gen.Config) (*gen.Generator, error) {
+	if port < 0 || port >= d.Card.NumPorts() {
+		return nil, fmt.Errorf("core: port %d out of range", port)
+	}
+	g, err := gen.New(d.Card.Port(port), cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.gens[port] = g
+	return g, nil
+}
+
+// ConfigureMonitor installs a capture pipeline on a port, replacing any
+// previous one.
+func (d *Device) ConfigureMonitor(port int, cfg mon.Config) (*mon.Monitor, error) {
+	if port < 0 || port >= d.Card.NumPorts() {
+		return nil, fmt.Errorf("core: port %d out of range", port)
+	}
+	m := mon.Attach(d.Card.Port(port), cfg)
+	d.mons[port] = m
+	return m, nil
+}
+
+// Generator returns the generator installed on the port, or nil.
+func (d *Device) Generator(port int) *gen.Generator { return d.gens[port] }
+
+// Monitor returns the monitor installed on the port, or nil.
+func (d *Device) Monitor(port int) *mon.Monitor { return d.mons[port] }
+
+// LatencyResult summarises one latency measurement.
+type LatencyResult struct {
+	// Latency collects per-packet latency samples in picoseconds,
+	// computed as (hardware RX timestamp - embedded TX timestamp).
+	Latency *stats.Histogram
+	// TxPackets is what the generator offered to the MAC.
+	TxPackets uint64
+	// RxPackets is what the monitor delivered to the host.
+	RxPackets uint64
+	// TxDropped counts generator-side TX queue overflow (offered load
+	// beyond line rate).
+	TxDropped uint64
+	// CaptureDrops counts monitor-side ring overflow.
+	CaptureDrops uint64
+}
+
+// Lost returns packets that left the generator but never reached the
+// host, excluding capture-path drops (i.e. DUT loss).
+func (r *LatencyResult) Lost() uint64 {
+	got := r.RxPackets + r.CaptureDrops
+	if r.TxPackets <= got {
+		return 0
+	}
+	return r.TxPackets - got
+}
+
+// LossFraction returns DUT loss as a fraction of transmitted packets.
+func (r *LatencyResult) LossFraction() float64 {
+	if r.TxPackets == 0 {
+		return 0
+	}
+	return float64(r.Lost()) / float64(r.TxPackets)
+}
+
+// LatencyTest measures packet-processing latency of whatever sits
+// between two tester ports — the Demo Part I scenario: "one of the ports
+// will be used to generate traffic at variable rates with the
+// transmission timestamp embedded in each packet, while the other port
+// will be used to capture packets after they traverse the switch".
+type LatencyTest struct {
+	Device *Device
+	// TxPort generates, RxPort captures.
+	TxPort, RxPort int
+	// Spec is the packet template (MACs must match the DUT's learned
+	// stations; IPs/ports identify the probe flow).
+	Spec packet.UDPSpec
+	// FrameSize is the FCS-inclusive probe size (default 512).
+	FrameSize int
+	// Load is the offered fraction of line rate (default 0.1). Ignored
+	// when Spacing is set.
+	Load float64
+	// Spacing overrides the CBR spacing derived from Load.
+	Spacing gen.Spacing
+	// Duration bounds the generation phase (default 10 ms of virtual
+	// time).
+	Duration sim.Duration
+	// Count, when nonzero, bounds the number of probes instead.
+	Count uint64
+	// Seed feeds stochastic spacings.
+	Seed uint64
+	// Monitor optionally tunes the capture pipeline (Sink is owned by
+	// the test).
+	Monitor mon.Config
+}
+
+// Run executes the measurement to completion and returns the result.
+func (t *LatencyTest) Run() (*LatencyResult, error) {
+	if t.FrameSize == 0 {
+		t.FrameSize = 512
+	}
+	if t.Load == 0 {
+		t.Load = 0.1
+	}
+	if t.Duration == 0 {
+		t.Duration = 10 * sim.Millisecond
+	}
+	res := &LatencyResult{Latency: stats.NewHistogram()}
+
+	mcfg := t.Monitor
+	mcfg.Sink = func(rec mon.Record) {
+		ts, ok := gen.ExtractTimestamp(rec.Data, gen.DefaultTimestampOffset)
+		if !ok {
+			return
+		}
+		res.Latency.Record(int64(rec.TS.Sub(ts)))
+	}
+	m, err := t.Device.ConfigureMonitor(t.RxPort, mcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	spacing := t.Spacing
+	if spacing == nil {
+		spacing = gen.CBRForLoad(t.FrameSize, t.Device.Card.Rate(), t.Load)
+	}
+	spec := t.Spec
+	spec.FrameSize = t.FrameSize
+	g, err := t.Device.ConfigureGenerator(t.TxPort, gen.Config{
+		Source:         &gen.UDPFlowSource{Spec: spec, FrameSize: t.FrameSize},
+		Spacing:        spacing,
+		Count:          t.Count,
+		EmbedTimestamp: true,
+		Seed:           t.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	e := t.Device.Engine
+	start := e.Now()
+	g.Start(start)
+	if t.Count > 0 {
+		e.Run()
+	} else {
+		e.RunUntil(start.Add(t.Duration))
+		g.Stop()
+		// Let in-flight packets and the capture ring drain.
+		e.Run()
+	}
+
+	res.TxPackets = g.Sent().Packets
+	res.TxDropped = g.Dropped()
+	res.RxPackets = m.Delivered().Packets
+	res.CaptureDrops = m.RingDrops()
+	return res, nil
+}
+
+// ThroughputResult summarises one achievable-rate measurement.
+type ThroughputResult struct {
+	// OfferedPPS and OfferedBPS describe the generator's output on the
+	// wire (including preamble/IFG overhead for BPS).
+	OfferedPPS, OfferedBPS float64
+	// DeliveredPPS and DeliveredBPS describe what arrived at the capture
+	// port.
+	DeliveredPPS, DeliveredBPS float64
+	// LossFraction is 1 - delivered/offered packets.
+	LossFraction float64
+}
+
+// ThroughputTest measures the rate a DUT sustains between two tester
+// ports at a fixed offered load.
+type ThroughputTest struct {
+	Device         *Device
+	TxPort, RxPort int
+	Spec           packet.UDPSpec
+	FrameSize      int
+	Load           float64
+	Duration       sim.Duration
+	Seed           uint64
+}
+
+// Run executes the measurement.
+func (t *ThroughputTest) Run() (*ThroughputResult, error) {
+	if t.FrameSize == 0 {
+		t.FrameSize = 512
+	}
+	if t.Load == 0 {
+		t.Load = 1.0
+	}
+	if t.Duration == 0 {
+		t.Duration = 10 * sim.Millisecond
+	}
+	// Counting at the RX MAC (not the host ring) measures the DUT, not
+	// the capture path: make the host path effectively infinite.
+	m, err := t.Device.ConfigureMonitor(t.RxPort, mon.Config{
+		RingSize:      1 << 30,
+		HostPerPacket: sim.Picosecond,
+		HostPerByte:   -1, // negative = zero cost (see mon.Config)
+	})
+	if err != nil {
+		return nil, err
+	}
+	spec := t.Spec
+	spec.FrameSize = t.FrameSize
+	g, err := t.Device.ConfigureGenerator(t.TxPort, gen.Config{
+		Source:  &gen.UDPFlowSource{Spec: spec, FrameSize: t.FrameSize},
+		Spacing: gen.CBRForLoad(t.FrameSize, t.Device.Card.Rate(), t.Load),
+		Seed:    t.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	e := t.Device.Engine
+	start := e.Now()
+	txBefore := g.Sent()
+	rxBefore := m.Seen()
+	g.Start(start)
+	e.RunUntil(start.Add(t.Duration))
+	g.Stop()
+	e.Run()
+
+	elapsed := t.Duration.Seconds()
+	tx := g.Sent().Sub(txBefore)
+	rx := m.Seen().Sub(rxBefore)
+	res := &ThroughputResult{
+		OfferedPPS:   tx.PacketsPerSecond(elapsed),
+		OfferedBPS:   tx.BitsPerSecond(elapsed),
+		DeliveredPPS: rx.PacketsPerSecond(elapsed),
+		DeliveredBPS: rx.BitsPerSecond(elapsed),
+	}
+	if tx.Packets > 0 {
+		lost := float64(tx.Packets) - float64(rx.Packets)
+		if lost < 0 {
+			lost = 0
+		}
+		res.LossFraction = lost / float64(tx.Packets)
+	}
+	return res, nil
+}
+
+// WireUp connects tester port tx straight to tester port rx with the
+// given propagation delay (a loopback cable), a convenience for
+// self-test topologies.
+func (d *Device) WireUp(tx, rx int, delay sim.Duration) {
+	l := wire.NewLink(d.Engine, d.Card.Rate(), delay, d.Card.Port(rx))
+	d.Card.Port(tx).SetLink(l)
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"osnt/internal/sim"
+)
+
+func cell(t *testing.T, tbl interface{ String() string }, row, col int) string {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(tbl.String(), "\n"), "\n")
+	fields := strings.Fields(lines[2+row]) // title + header
+	if col >= len(fields) {
+		t.Fatalf("row %d has %d fields: %q", row, len(fields), lines[2+row])
+	}
+	return fields[col]
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestE1EveryRowHitsLineRate(t *testing.T) {
+	tbl := E1LineRate(sim.Millisecond)
+	if len(tbl.Rows) != len(FrameSizes)*2 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[5] != "true" {
+			t.Fatalf("row failed line rate: %v", row)
+		}
+	}
+	// Wire rate must be ≈10G at the extremes.
+	for _, ri := range []int{0, len(tbl.Rows) - 1} {
+		g := parseF(t, tbl.Rows[ri][4])
+		if g < 9.98 || g > 10.02 {
+			t.Fatalf("wire rate %v", tbl.Rows[ri])
+		}
+	}
+}
+
+func TestE2DisciplinedStaysSubMicrosecond(t *testing.T) {
+	tbl := E2ClockDiscipline(80 * sim.Second)
+	last := tbl.Rows[len(tbl.Rows)-1]
+	free := parseF(t, last[1])
+	disc := parseF(t, last[2])
+	if free < 1000 {
+		t.Fatalf("free-running error %vµs, expected ms-scale at 50ppm", free)
+	}
+	if disc >= 1.0 {
+		t.Fatalf("disciplined error %vµs, paper claims sub-µs", disc)
+	}
+}
+
+func TestE3LatencyHockeyStick(t *testing.T) {
+	tbl := E3SwitchLatency(10 * sim.Millisecond)
+	first := parseF(t, tbl.Rows[0][1])
+	var at95 float64
+	for _, row := range tbl.Rows {
+		if row[0] == "95" {
+			at95 = parseF(t, row[1])
+		}
+	}
+	if at95 < first*1.5 {
+		t.Fatalf("no latency growth: 10%% → %vµs, 95%% → %vµs", first, at95)
+	}
+	// Monotone-ish growth of p99 with load (allowing small noise).
+	prev := 0.0
+	for i, row := range tbl.Rows {
+		p99 := parseF(t, row[3])
+		if i > 0 && p99 < prev*0.7 {
+			t.Fatalf("p99 collapsed between loads: %v", tbl.Rows)
+		}
+		prev = p99
+	}
+}
+
+func TestE4ControlPrecedesDataAndScales(t *testing.T) {
+	tbl := E4FlowModLatency()
+	var ctl1, ctl512, dmax1 float64
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "1":
+			ctl1 = parseF(t, row[1])
+			dmax1 = parseF(t, row[3])
+		case "512":
+			ctl512 = parseF(t, row[1])
+		}
+		// every batch fully confirmed on the dataplane
+		parts := strings.Split(row[4], "/")
+		if parts[0] != parts[1] {
+			t.Fatalf("unconfirmed rules: %v", row)
+		}
+	}
+	if dmax1 <= ctl1 {
+		t.Fatalf("dataplane (%vms) should lag control (%vms)", dmax1, ctl1)
+	}
+	if ctl512 < ctl1*50 {
+		t.Fatalf("batch scaling: 1→%vms, 512→%vms", ctl1, ctl512)
+	}
+}
+
+func TestE5InconsistencyRequiresHWLag(t *testing.T) {
+	tbl := E5Consistency()
+	for _, row := range tbl.Rows {
+		old := parseF(t, row[2])
+		if row[1] == "none" && old != 0 {
+			t.Fatalf("inconsistency without HW lag: %v", row)
+		}
+		if row[1] != "none" && old == 0 {
+			t.Fatalf("no inconsistency with HW lag: %v", row)
+		}
+	}
+}
+
+func TestE6SoftwareNoiseDominates(t *testing.T) {
+	tbl := E6TimestampNoise(1000)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// Hardware row must be ns-scale, software µs/ms-scale. Compare by
+	// unit suffix: hardware mean ends in "ns" (or ps), software in µs+.
+	hw, sw := tbl.Rows[0][3], tbl.Rows[1][3]
+	if !strings.Contains(hw, "ns") && !strings.Contains(hw, "ps") {
+		t.Fatalf("hardware max error %q not ns-scale", hw)
+	}
+	if strings.Contains(sw, "ns") || strings.Contains(sw, "ps") {
+		t.Fatalf("software max error %q implausibly small", sw)
+	}
+}
+
+func TestE7ThinningRemovesLoss(t *testing.T) {
+	tbl := E7CapturePath(0)
+	var fullAt100, thinAt100 float64
+	for _, row := range tbl.Rows {
+		if row[0] == "100" {
+			switch row[1] {
+			case "full packets":
+				fullAt100 = parseF(t, row[4])
+			case "thin 64B":
+				thinAt100 = parseF(t, row[4])
+			}
+		}
+	}
+	if fullAt100 <= 0 {
+		t.Fatal("full-packet capture at line rate showed no loss")
+	}
+	if thinAt100 != 0 {
+		t.Fatalf("thinned capture lost %v%%", thinAt100)
+	}
+}
+
+func TestE8EchoInflatesWithLoad(t *testing.T) {
+	tbl := E8ControlUnderLoad()
+	idle := parseF(t, tbl.Rows[0][1])
+	loaded := parseF(t, tbl.Rows[len(tbl.Rows)-1][1])
+	if loaded < idle*2 {
+		t.Fatalf("echo RTT idle %vµs vs 90%% load %vµs", idle, loaded)
+	}
+}

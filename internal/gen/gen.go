@@ -1,0 +1,365 @@
+// Package gen implements the OSNT traffic generation subsystem: PCAP
+// replay with a tuneable per-packet inter-departure time, synthetic
+// constant-rate/Poisson/bursty/IMIX workloads, finely controlled rates up
+// to line rate per port, and per-packet transmit-timestamp embedding at a
+// preconfigured packet offset (the mechanism the paper places "just
+// before the transmit 10GbE MAC").
+package gen
+
+import (
+	"fmt"
+
+	"osnt/internal/netfpga"
+	"osnt/internal/packet"
+	"osnt/internal/pcap"
+	"osnt/internal/sim"
+	"osnt/internal/stats"
+	"osnt/internal/timing"
+	"osnt/internal/wire"
+)
+
+// Spacing produces successive inter-departure times. Implementations are
+// the OSNT rate-control disciplines.
+type Spacing interface {
+	Next(r *sim.Rand) sim.Duration
+}
+
+// CBR emits packets with a constant inter-departure time.
+type CBR struct{ Interval sim.Duration }
+
+// Next implements Spacing.
+func (c CBR) Next(*sim.Rand) sim.Duration { return c.Interval }
+
+// CBRForLoad returns constant spacing that offers the given fraction of
+// line rate for FCS-inclusive frames of size frameSize. load 1.0 is
+// exactly line rate; load > 1.0 overruns it (the MAC will clip).
+func CBRForLoad(frameSize int, rate wire.Rate, load float64) CBR {
+	slot := wire.SerializationTime(frameSize, rate)
+	if load <= 0 {
+		panic("gen: non-positive load")
+	}
+	return CBR{Interval: sim.Duration(float64(slot) / load)}
+}
+
+// CBRForPPS returns constant spacing at the given packets per second.
+func CBRForPPS(pps float64) CBR {
+	if pps <= 0 {
+		panic("gen: non-positive pps")
+	}
+	return CBR{Interval: sim.Duration(1e12 / pps)}
+}
+
+// Poisson spaces packets with exponentially distributed gaps of the given
+// mean, the classic open-loop arrival model.
+type Poisson struct{ Mean sim.Duration }
+
+// Next implements Spacing.
+func (p Poisson) Next(r *sim.Rand) sim.Duration {
+	return sim.Duration(float64(p.Mean) * r.ExpFloat64())
+}
+
+// Burst alternates On periods of back-to-back CBR traffic with silent Off
+// periods, modelling on/off applications.
+type Burst struct {
+	Interval sim.Duration // spacing inside a burst
+	On, Off  sim.Duration
+
+	elapsed sim.Duration
+}
+
+// Next implements Spacing.
+func (b *Burst) Next(*sim.Rand) sim.Duration {
+	b.elapsed += b.Interval
+	if b.elapsed >= b.On {
+		b.elapsed = 0
+		return b.Interval + b.Off
+	}
+	return b.Interval
+}
+
+// Source produces the frames to transmit. Next returns nil when the
+// stream is exhausted.
+type Source interface {
+	Next() *wire.Frame
+}
+
+// SliceSource replays a fixed list of frames (optionally cyclically).
+type SliceSource struct {
+	Frames []*wire.Frame
+	Loop   bool
+	pos    int
+}
+
+// Next implements Source. Frames are cloned so in-flight mutation
+// (timestamp embedding) cannot corrupt the template.
+func (s *SliceSource) Next() *wire.Frame {
+	if s.pos >= len(s.Frames) {
+		if !s.Loop || len(s.Frames) == 0 {
+			return nil
+		}
+		s.pos = 0
+	}
+	f := s.Frames[s.pos].Clone()
+	s.pos++
+	return f
+}
+
+// UDPFlowSource synthesises UDP-in-IPv4 frames cycling across NumFlows
+// distinct flows (varying source port), the generator workload used
+// throughout the experiments.
+type UDPFlowSource struct {
+	Spec      packet.UDPSpec
+	NumFlows  int
+	FrameSize int // FCS-inclusive; 0 keeps Spec.FrameSize
+	// Sizes, if non-nil, cycles frame sizes (e.g. IMIX) instead of
+	// FrameSize.
+	Sizes []int
+
+	built []*wire.Frame
+	pos   int
+}
+
+// IMIXSizes is the classic 7:4:1 Internet mix of 64, 570 and 1518 byte
+// frames.
+var IMIXSizes = []int{64, 64, 64, 64, 64, 64, 64, 570, 570, 570, 570, 1518}
+
+// Next implements Source.
+func (u *UDPFlowSource) Next() *wire.Frame {
+	if u.built == nil {
+		n := u.NumFlows
+		if n <= 0 {
+			n = 1
+		}
+		sizes := u.Sizes
+		if sizes == nil {
+			fs := u.FrameSize
+			if fs == 0 {
+				fs = u.Spec.FrameSize
+			}
+			if fs == 0 {
+				fs = 64
+			}
+			sizes = []int{fs}
+		}
+		// Build one template per (flow, size) pair.
+		for i := 0; i < n; i++ {
+			for _, sz := range sizes {
+				spec := u.Spec
+				spec.SrcPort = u.Spec.SrcPort + uint16(i)
+				spec.FrameSize = sz
+				u.built = append(u.built, wire.NewFrame(spec.Build()))
+			}
+		}
+	}
+	f := u.built[u.pos%len(u.built)].Clone()
+	u.pos++
+	return f
+}
+
+// PCAPSource replays records from a capture. ScaleGap rescales the
+// recorded inter-departure gaps (1.0 = as captured); when a Spacing
+// override is set on the Generator, recorded gaps are ignored entirely.
+type PCAPSource struct {
+	Records []pcap.Record
+	Loop    bool
+	pos     int
+}
+
+// Next implements Source.
+func (p *PCAPSource) Next() *wire.Frame {
+	if p.pos >= len(p.Records) {
+		if !p.Loop || len(p.Records) == 0 {
+			return nil
+		}
+		p.pos = 0
+	}
+	rec := p.Records[p.pos]
+	p.pos++
+	data := make([]byte, len(rec.Data))
+	copy(data, rec.Data)
+	f := &wire.Frame{Data: data, Size: rec.OrigLen + wire.FCSLen}
+	if f.Size < len(data)+wire.FCSLen {
+		f.Size = len(data) + wire.FCSLen
+	}
+	return f
+}
+
+// RecordedSpacing replays the inter-arrival gaps of a capture, scaled by
+// Scale (0 or 1 = as recorded). This is "PCAP replay with a tuneable
+// per-packet inter-departure time".
+type RecordedSpacing struct {
+	Records []pcap.Record
+	Scale   float64
+	Loop    bool
+	pos     int
+}
+
+// Next implements Spacing.
+func (r *RecordedSpacing) Next(*sim.Rand) sim.Duration {
+	scale := r.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	if len(r.Records) < 2 {
+		return 0
+	}
+	i := r.pos
+	r.pos++
+	if i+1 >= len(r.Records) {
+		if r.Loop {
+			r.pos = 0
+		}
+		i = len(r.Records) - 2
+	}
+	gap := r.Records[i+1].TS.Sub(r.Records[i].TS)
+	if gap < 0 {
+		gap = 0
+	}
+	return sim.Duration(float64(gap) * scale)
+}
+
+// TimestampLen is the size of the embedded transmit timestamp.
+const TimestampLen = 8
+
+// DefaultTimestampOffset places the timestamp at the start of a UDP
+// payload (Ethernet 14 + IPv4 20 + UDP 8), OSNT's usual configuration.
+const DefaultTimestampOffset = 42
+
+// EmbedTimestamp writes ts into data at the given offset, big-endian
+// 32.32 fixed point — the wire format the OSNT extraction logic expects.
+func EmbedTimestamp(data []byte, offset int, ts timing.Timestamp) bool {
+	if offset < 0 || offset+TimestampLen > len(data) {
+		return false
+	}
+	v := uint64(ts)
+	for i := 0; i < 8; i++ {
+		data[offset+i] = byte(v >> (56 - 8*i))
+	}
+	return true
+}
+
+// ExtractTimestamp reads a timestamp embedded by EmbedTimestamp.
+func ExtractTimestamp(data []byte, offset int) (timing.Timestamp, bool) {
+	if offset < 0 || offset+TimestampLen > len(data) {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(data[offset+i])
+	}
+	return timing.Timestamp(v), true
+}
+
+// Config parameterises a Generator.
+type Config struct {
+	Source  Source
+	Spacing Spacing
+	// Count stops the generator after that many packets (0 = until the
+	// source is exhausted or Stop is called).
+	Count uint64
+	// EmbedTimestamp enables per-packet TX timestamp embedding at
+	// TimestampOffset.
+	EmbedTimestamp bool
+	// TimestampOffset is the embed location (default
+	// DefaultTimestampOffset).
+	TimestampOffset int
+	// Seed feeds the spacing model's random stream.
+	Seed uint64
+}
+
+// Generator drives one card port. It owns the port's OnTransmit hook
+// while running.
+type Generator struct {
+	port *netfpga.Port
+	cfg  Config
+	rand *sim.Rand
+
+	sent    stats.Counter
+	dropped uint64
+	running bool
+	done    func()
+	next    *sim.Event
+}
+
+// New builds a generator for the port. The configuration must include a
+// Source and a Spacing.
+func New(port *netfpga.Port, cfg Config) (*Generator, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("gen: no source configured")
+	}
+	if cfg.Spacing == nil {
+		return nil, fmt.Errorf("gen: no spacing configured")
+	}
+	if cfg.TimestampOffset == 0 {
+		cfg.TimestampOffset = DefaultTimestampOffset
+	}
+	return &Generator{port: port, cfg: cfg, rand: sim.NewRand(cfg.Seed ^ 0x05170)}, nil
+}
+
+// OnDone registers a callback fired when the generator finishes (count
+// reached or source exhausted).
+func (g *Generator) OnDone(fn func()) { g.done = fn }
+
+// Start begins transmission at instant at (which must not be in the
+// past).
+func (g *Generator) Start(at sim.Time) {
+	e := g.port.Card().Engine
+	g.running = true
+	if g.cfg.EmbedTimestamp {
+		off := g.cfg.TimestampOffset
+		g.port.OnTransmit = func(f *wire.Frame, _ sim.Time, ts timing.Timestamp) {
+			EmbedTimestamp(f.Data, off, ts)
+		}
+	}
+	g.next = e.Schedule(at, g.emit)
+}
+
+// Stop halts the generator after the current packet.
+func (g *Generator) Stop() {
+	g.running = false
+	if g.next != nil {
+		g.next.Cancel()
+	}
+}
+
+func (g *Generator) emit() {
+	if !g.running {
+		return
+	}
+	if g.cfg.Count > 0 && g.sent.Packets+g.dropped >= g.cfg.Count {
+		g.finish()
+		return
+	}
+	f := g.cfg.Source.Next()
+	if f == nil {
+		g.finish()
+		return
+	}
+	if g.port.Enqueue(f) {
+		g.sent.Add(wire.WireBytes(f.Size))
+	} else {
+		g.dropped++
+	}
+	gap := g.cfg.Spacing.Next(g.rand)
+	if gap < 0 {
+		gap = 0
+	}
+	g.next = g.port.Card().Engine.ScheduleAfter(gap, g.emit)
+}
+
+func (g *Generator) finish() {
+	g.running = false
+	if g.done != nil {
+		g.done()
+	}
+}
+
+// Running reports whether the generator is still scheduled.
+func (g *Generator) Running() bool { return g.running }
+
+// Sent returns packets/wire-bytes accepted by the MAC queue.
+func (g *Generator) Sent() stats.Counter { return g.sent }
+
+// Dropped returns packets refused by a full TX queue (offered load beyond
+// line rate).
+func (g *Generator) Dropped() uint64 { return g.dropped }

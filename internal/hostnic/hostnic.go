@@ -1,0 +1,120 @@
+// Package hostnic models the conventional software capture stack OSNT
+// exists to replace: a commodity NIC with interrupt coalescing feeding a
+// kernel/userspace path that timestamps packets when the handler finally
+// runs. The gap between that software timestamp and the true arrival —
+// coalescing delay plus scheduling jitter, shared by every packet in a
+// batch — is the "queueing noise" the paper's MAC-level timestamping
+// eliminates (experiment E6).
+package hostnic
+
+import (
+	"osnt/internal/sim"
+	"osnt/internal/stats"
+	"osnt/internal/wire"
+)
+
+// Config parameterises the software stack model.
+type Config struct {
+	// CoalesceCount delivers an interrupt after this many frames
+	// (default 32).
+	CoalesceCount int
+	// CoalesceTimeout delivers an interrupt this long after the first
+	// frame of a batch (default 50 µs, a typical rx-usecs setting).
+	CoalesceTimeout sim.Duration
+	// IRQOverhead is the fixed interrupt-to-handler delay (default 4 µs).
+	IRQOverhead sim.Duration
+	// SchedJitterMean is the mean of the exponential scheduling delay
+	// before the userspace handler timestamps the batch (default 15 µs).
+	SchedJitterMean sim.Duration
+	// Seed feeds the jitter stream.
+	Seed uint64
+	// Sink receives each packet with its software timestamp and the true
+	// arrival instant.
+	Sink func(data []byte, swTS, arrival sim.Time)
+}
+
+func (c *Config) fill() {
+	if c.CoalesceCount == 0 {
+		c.CoalesceCount = 32
+	}
+	if c.CoalesceTimeout == 0 {
+		c.CoalesceTimeout = 50 * sim.Microsecond
+	}
+	if c.IRQOverhead == 0 {
+		c.IRQOverhead = 4 * sim.Microsecond
+	}
+	if c.SchedJitterMean == 0 {
+		c.SchedJitterMean = 15 * sim.Microsecond
+	}
+}
+
+// NIC is one software-timestamping capture interface. It implements
+// wire.Endpoint so it can terminate a link exactly like an OSNT port.
+type NIC struct {
+	engine *sim.Engine
+	cfg    Config
+	rand   *sim.Rand
+
+	batch      []pending
+	timeoutEv  *sim.Event
+	interrupts uint64
+	captured   stats.Counter
+}
+
+type pending struct {
+	data    []byte
+	arrival sim.Time
+}
+
+// New builds a NIC on the engine.
+func New(e *sim.Engine, cfg Config) *NIC {
+	cfg.fill()
+	return &NIC{engine: e, cfg: cfg, rand: sim.NewRand(cfg.Seed ^ 0x501c)}
+}
+
+// Interrupts returns how many interrupts fired.
+func (n *NIC) Interrupts() uint64 { return n.interrupts }
+
+// Captured returns counters over delivered packets.
+func (n *NIC) Captured() stats.Counter { return n.captured }
+
+// Receive implements wire.Endpoint.
+func (n *NIC) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
+	data := make([]byte, len(f.Data))
+	copy(data, f.Data)
+	n.batch = append(n.batch, pending{data: data, arrival: at})
+	if len(n.batch) == 1 {
+		n.timeoutEv = n.engine.ScheduleAfter(n.cfg.CoalesceTimeout, n.fire)
+	}
+	if len(n.batch) >= n.cfg.CoalesceCount {
+		if n.timeoutEv != nil {
+			n.timeoutEv.Cancel()
+			n.timeoutEv = nil
+		}
+		n.fire()
+	}
+}
+
+// fire raises the interrupt: after IRQ overhead plus scheduling jitter
+// the handler runs and stamps every batched packet with the same
+// software timestamp.
+func (n *NIC) fire() {
+	if len(n.batch) == 0 {
+		return
+	}
+	batch := n.batch
+	n.batch = nil
+	n.timeoutEv = nil
+	n.interrupts++
+	delay := n.cfg.IRQOverhead +
+		sim.Duration(float64(n.cfg.SchedJitterMean)*n.rand.ExpFloat64())
+	n.engine.ScheduleAfter(delay, func() {
+		ts := n.engine.Now()
+		for _, p := range batch {
+			n.captured.Add(len(p.data))
+			if n.cfg.Sink != nil {
+				n.cfg.Sink(p.data, ts, p.arrival)
+			}
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package netfpga simulates the NetFPGA-10G board that hosts OSNT: four
+// 10GbE ports, per-port TX queues and MACs, receive-side timestamping at
+// the MAC (the paper's "associates packets with a 64-bit timestamp on
+// receipt by the MAC module, thus minimising queueing noise"), and the
+// register file the host driver reads statistics from.
+package netfpga
+
+import (
+	"fmt"
+
+	"osnt/internal/sim"
+	"osnt/internal/stats"
+	"osnt/internal/timing"
+	"osnt/internal/wire"
+)
+
+// Config sizes a simulated card. Zero values select the NetFPGA-10G
+// defaults.
+type Config struct {
+	// Ports is the port count (default 4, as on the NetFPGA-10G).
+	Ports int
+	// Rate is the per-port line rate (default 10 Gb/s).
+	Rate wire.Rate
+	// Clock is the timestamp source (default a GPS-perfect clock).
+	Clock timing.Clock
+	// TxQueueCap bounds each port's TX queue in frames (default 8192).
+	// The generator paces itself, so the queue only fills when software
+	// offers more than line rate.
+	TxQueueCap int
+}
+
+func (c *Config) fill() {
+	if c.Ports == 0 {
+		c.Ports = 4
+	}
+	if c.Rate == 0 {
+		c.Rate = wire.Rate10G
+	}
+	if c.Clock == nil {
+		c.Clock = timing.PerfectClock{}
+	}
+	if c.TxQueueCap == 0 {
+		c.TxQueueCap = 8192
+	}
+}
+
+// Card is one simulated NetFPGA-10G board.
+type Card struct {
+	Engine *sim.Engine
+	Clock  timing.Clock
+	Regs   *Registers
+
+	cfg   Config
+	ports []*Port
+}
+
+// New builds a card on the given engine.
+func New(e *sim.Engine, cfg Config) *Card {
+	cfg.fill()
+	c := &Card{Engine: e, Clock: cfg.Clock, Regs: NewRegisters(), cfg: cfg}
+	for i := 0; i < cfg.Ports; i++ {
+		c.ports = append(c.ports, &Port{card: c, index: i})
+	}
+	c.Regs.Set("device.id", 0x05170)
+	c.Regs.Set("device.ports", uint64(cfg.Ports))
+	return c
+}
+
+// NumPorts returns the port count.
+func (c *Card) NumPorts() int { return len(c.ports) }
+
+// Port returns port i.
+func (c *Card) Port(i int) *Port { return c.ports[i] }
+
+// Rate returns the per-port line rate.
+func (c *Card) Rate() wire.Rate { return c.cfg.Rate }
+
+// Port is one 10GbE interface: a TX queue feeding a MAC, and an RX MAC
+// that timestamps every arriving frame.
+type Port struct {
+	card  *Card
+	index int
+
+	// TX side.
+	txLink *wire.Link
+	txq    []*wire.Frame
+	txBusy bool
+	// OnTransmit fires when a frame is latched into the MAC, just before
+	// serialisation begins — the point where OSNT's generator embeds the
+	// departure timestamp. The callback may modify the frame bytes.
+	OnTransmit func(f *wire.Frame, start sim.Time, ts timing.Timestamp)
+
+	// RX side.
+	// OnReceive fires for every frame whose last bit has arrived, with
+	// the MAC-latched receive timestamp.
+	OnReceive func(f *wire.Frame, at sim.Time, ts timing.Timestamp)
+
+	txStats  stats.Counter
+	rxStats  stats.Counter
+	txDrops  uint64
+	txQueued int
+}
+
+// Index returns the port number on the card.
+func (p *Port) Index() int { return p.index }
+
+// Card returns the owning card.
+func (p *Port) Card() *Card { return p.card }
+
+// SetLink attaches the egress link (towards the device under test).
+func (p *Port) SetLink(l *wire.Link) { p.txLink = l }
+
+// Link returns the attached egress link.
+func (p *Port) Link() *wire.Link { return p.txLink }
+
+// Enqueue places a frame on the TX queue. It reports false (and counts a
+// drop) when the queue is full — software offered more than line rate for
+// longer than the queue can absorb.
+func (p *Port) Enqueue(f *wire.Frame) bool {
+	if p.txLink == nil {
+		panic(fmt.Sprintf("netfpga: port %d transmit with no link attached", p.index))
+	}
+	if p.txQueued >= p.card.cfg.TxQueueCap {
+		p.txDrops++
+		p.card.Regs.Add(p.regName("tx_drops"), 1)
+		return false
+	}
+	p.txq = append(p.txq, f)
+	p.txQueued++
+	p.trySend()
+	return true
+}
+
+func (p *Port) trySend() {
+	if p.txBusy || len(p.txq) == 0 {
+		return
+	}
+	f := p.txq[0]
+	copy(p.txq, p.txq[1:])
+	p.txq[len(p.txq)-1] = nil
+	p.txq = p.txq[:len(p.txq)-1]
+	p.txQueued--
+
+	now := p.card.Engine.Now()
+	ts := p.card.Clock.Now(now)
+	if p.OnTransmit != nil {
+		p.OnTransmit(f, now, ts)
+	}
+	p.txBusy = true
+	end := p.txLink.Transmit(f)
+	p.txStats.Add(wire.WireBytes(f.Size))
+	p.card.Regs.Add(p.regName("tx_packets"), 1)
+	p.card.Regs.Add(p.regName("tx_bytes"), uint64(f.Size))
+	p.card.Engine.Schedule(end, func() {
+		p.txBusy = false
+		p.trySend()
+	})
+}
+
+// Receive implements wire.Endpoint: the RX MAC latches a timestamp the
+// instant the frame fully arrives and hands it to the attached subsystem.
+func (p *Port) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
+	ts := p.card.Clock.Now(at)
+	p.rxStats.Add(wire.WireBytes(f.Size))
+	p.card.Regs.Add(p.regName("rx_packets"), 1)
+	p.card.Regs.Add(p.regName("rx_bytes"), uint64(f.Size))
+	if p.OnReceive != nil {
+		p.OnReceive(f, at, ts)
+	}
+}
+
+// TxStats returns cumulative transmit counters (wire bytes).
+func (p *Port) TxStats() stats.Counter { return p.txStats }
+
+// RxStats returns cumulative receive counters (wire bytes).
+func (p *Port) RxStats() stats.Counter { return p.rxStats }
+
+// TxDrops returns frames dropped at the TX queue.
+func (p *Port) TxDrops() uint64 { return p.txDrops }
+
+// TxQueueDepth returns the instantaneous TX queue occupancy.
+func (p *Port) TxQueueDepth() int { return p.txQueued }
+
+func (p *Port) regName(suffix string) string {
+	return fmt.Sprintf("port%d.%s", p.index, suffix)
+}
+
+// Registers is the card's host-visible register file. Real OSNT exposes
+// statistics and configuration through memory-mapped registers; the
+// simulated card keeps the same observable surface so host tools read
+// stats the way a driver would.
+type Registers struct {
+	m     map[string]uint64
+	order []string
+}
+
+// NewRegisters returns an empty register file.
+func NewRegisters() *Registers { return &Registers{m: make(map[string]uint64)} }
+
+// Set stores a register value, creating the register if needed.
+func (r *Registers) Set(name string, v uint64) {
+	if _, ok := r.m[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.m[name] = v
+}
+
+// Add increments a register, creating it at zero if needed.
+func (r *Registers) Add(name string, delta uint64) {
+	if _, ok := r.m[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.m[name] += delta
+}
+
+// Get reads a register; absent registers read zero, as on hardware.
+func (r *Registers) Get(name string) uint64 { return r.m[name] }
+
+// Names returns the registers in creation order.
+func (r *Registers) Names() []string { return append([]string(nil), r.order...) }

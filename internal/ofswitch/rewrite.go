@@ -1,0 +1,168 @@
+package ofswitch
+
+import (
+	"osnt/internal/openflow"
+	"osnt/internal/packet"
+	"osnt/internal/wire"
+)
+
+// rewriteFrame applies one OF 1.0 set-field action to the frame bytes in
+// place, keeping IPv4/TCP/UDP checksums consistent — the header rewrite
+// engine of the switch dataplane.
+func rewriteFrame(f *wire.Frame, a openflow.Action) {
+	data := f.Data
+	if len(data) < packet.EthernetHeaderLen {
+		return
+	}
+	switch act := a.(type) {
+	case *openflow.ActionSetDlAddr:
+		if act.TypeCode == openflow.ActTypeSetDlDst {
+			copy(data[0:6], act.Addr[:])
+		} else {
+			copy(data[6:12], act.Addr[:])
+		}
+	case *openflow.ActionSetVlanVid:
+		setVlanVid(f, act.Vid)
+	case *openflow.ActionStripVlan:
+		stripVlan(f)
+	case *openflow.ActionSetNwAddr:
+		setNwAddr(data, act.TypeCode == openflow.ActTypeSetNwSrc, act.Addr)
+	case *openflow.ActionSetTpPort:
+		setTpPort(data, act.TypeCode == openflow.ActTypeSetTpSrc, act.Port)
+	}
+}
+
+// ipHeader locates the IPv4 header, skipping one VLAN tag.
+func ipHeader(data []byte) (off int, ok bool) {
+	et := uint16(data[12])<<8 | uint16(data[13])
+	off = packet.EthernetHeaderLen
+	if et == packet.EtherTypeVLAN {
+		if len(data) < off+4 {
+			return 0, false
+		}
+		et = uint16(data[off+2])<<8 | uint16(data[off+3])
+		off += 4
+	}
+	if et != packet.EtherTypeIPv4 || len(data) < off+packet.IPv4MinLen {
+		return 0, false
+	}
+	if data[off]>>4 != 4 {
+		return 0, false
+	}
+	return off, true
+}
+
+func setNwAddr(data []byte, src bool, addr packet.IP4) {
+	off, ok := ipHeader(data)
+	if !ok {
+		return
+	}
+	pos := off + 16
+	if src {
+		pos = off + 12
+	}
+	copy(data[pos:pos+4], addr[:])
+	fixChecksums(data, off)
+}
+
+func setTpPort(data []byte, src bool, port uint16) {
+	off, ok := ipHeader(data)
+	if !ok {
+		return
+	}
+	ihl := int(data[off]&0x0f) * 4
+	proto := data[off+9]
+	if proto != packet.ProtoTCP && proto != packet.ProtoUDP {
+		return
+	}
+	l4 := off + ihl
+	if len(data) < l4+4 {
+		return
+	}
+	pos := l4 + 2
+	if src {
+		pos = l4
+	}
+	data[pos] = byte(port >> 8)
+	data[pos+1] = byte(port)
+	fixChecksums(data, off)
+}
+
+// fixChecksums recomputes the IPv4 header checksum and, when the payload
+// is TCP or UDP, the transport checksum with its pseudo header.
+func fixChecksums(data []byte, ipOff int) {
+	ihl := int(data[ipOff]&0x0f) * 4
+	if len(data) < ipOff+ihl {
+		return
+	}
+	hdr := data[ipOff : ipOff+ihl]
+	hdr[10], hdr[11] = 0, 0
+	ipsum := packet.Checksum(hdr, 0)
+	hdr[10], hdr[11] = byte(ipsum>>8), byte(ipsum)
+
+	proto := hdr[9]
+	totalLen := int(hdr[2])<<8 | int(hdr[3])
+	if totalLen < ihl || ipOff+totalLen > len(data) {
+		totalLen = len(data) - ipOff
+	}
+	seg := data[ipOff+ihl : ipOff+totalLen]
+	var src, dst packet.IP4
+	copy(src[:], hdr[12:16])
+	copy(dst[:], hdr[16:20])
+	switch proto {
+	case packet.ProtoUDP:
+		if len(seg) < packet.UDPHeaderLen {
+			return
+		}
+		seg[6], seg[7] = 0, 0
+		sum := packet.Checksum(seg, packet.PseudoV4(src, dst, proto, len(seg)))
+		if sum == 0 {
+			sum = 0xffff
+		}
+		seg[6], seg[7] = byte(sum>>8), byte(sum)
+	case packet.ProtoTCP:
+		if len(seg) < packet.TCPMinLen {
+			return
+		}
+		seg[16], seg[17] = 0, 0
+		sum := packet.Checksum(seg, packet.PseudoV4(src, dst, proto, len(seg)))
+		seg[16], seg[17] = byte(sum>>8), byte(sum)
+	}
+}
+
+// setVlanVid rewrites the VID of a tagged frame, or pushes a tag onto an
+// untagged one (OF 1.0 semantics).
+func setVlanVid(f *wire.Frame, vid uint16) {
+	data := f.Data
+	et := uint16(data[12])<<8 | uint16(data[13])
+	if et == packet.EtherTypeVLAN && len(data) >= 18 {
+		tci := uint16(data[14])<<8 | uint16(data[15])
+		tci = tci&0xf000 | vid&0x0fff
+		data[14], data[15] = byte(tci>>8), byte(tci)
+		return
+	}
+	// Push a new tag after the MAC addresses.
+	grown := make([]byte, len(data)+4)
+	copy(grown, data[:12])
+	grown[12], grown[13] = 0x81, 0x00
+	grown[14], grown[15] = byte(vid>>8), byte(vid)
+	copy(grown[16:], data[12:])
+	f.Data = grown
+	f.Size += 4
+}
+
+// stripVlan removes the outer 802.1Q tag if present.
+func stripVlan(f *wire.Frame) {
+	data := f.Data
+	if len(data) < 18 {
+		return
+	}
+	if uint16(data[12])<<8|uint16(data[13]) != packet.EtherTypeVLAN {
+		return
+	}
+	shrunk := make([]byte, len(data)-4)
+	copy(shrunk, data[:12])
+	copy(shrunk[12:], data[16:])
+	f.Data = shrunk
+	f.Size -= 4
+}

@@ -1,0 +1,412 @@
+package ofswitch
+
+import (
+	"fmt"
+
+	"osnt/internal/openflow"
+	"osnt/internal/sim"
+	"osnt/internal/stats"
+	"osnt/internal/wire"
+)
+
+// Config parameterises a simulated OpenFlow switch.
+type Config struct {
+	// Ports is the dataplane port count (default 4). OpenFlow port
+	// numbers are 1-based: port index i is OF port i+1.
+	Ports int
+	// Rate is the per-port line rate (default 10 Gb/s).
+	Rate wire.Rate
+	// DatapathID identifies the switch in FEATURES_REPLY.
+	DatapathID uint64
+	// TableCap bounds the flow table (default 4096, a typical hardware
+	// TCAM size of the era).
+	TableCap int
+	// ExactFastPath enables the exact-match hash lookup (ablation).
+	ExactFastPath bool
+
+	// PipelineLatency is the fixed dataplane forwarding delay (default
+	// 600 ns).
+	PipelineLatency sim.Duration
+	// EgressQueueCap bounds each output queue in packets (default 512).
+	EgressQueueCap int
+
+	// --- control plane model ---
+
+	// CtrlLatency is the one-way control channel latency (default
+	// 100 µs, a management-network RTT of 200 µs).
+	CtrlLatency sim.Duration
+	// FlowModCost is the management CPU time to process one FLOW_MOD
+	// (default 150 µs: firmware parsing, validation, driver call).
+	FlowModCost sim.Duration
+	// FlowModPerEntry adds table-scan cost per existing entry (default
+	// 30 ns) — large tables make modifications slower.
+	FlowModPerEntry sim.Duration
+	// HWInstallDelay is the lag between control-plane completion of a
+	// FLOW_MOD and the dataplane actually applying it (default 1.5 ms,
+	// the TCAM-write asynchrony OFLOPS exposed).
+	HWInstallDelay sim.Duration
+	// BarrierCost is the CPU time to process a BARRIER_REQUEST (default
+	// 20 µs).
+	BarrierCost sim.Duration
+	// EchoCost is the CPU time to answer an ECHO_REQUEST (default 5 µs).
+	EchoCost sim.Duration
+	// PacketInCost is the slow-path CPU time per table-miss packet
+	// (default 80 µs).
+	PacketInCost sim.Duration
+	// DataplaneCPUTax is management CPU time consumed per forwarded
+	// packet (counter maintenance etc., default 0: ideal hardware).
+	// Non-zero values reproduce control-plane starvation under
+	// dataplane load (experiment E8).
+	DataplaneCPUTax sim.Duration
+	// CPUBacklogCap bounds the CPU work backlog (default 20 ms): tax
+	// beyond it is shed, protocol messages queue regardless.
+	CPUBacklogCap sim.Duration
+	// MissSendLen is the packet prefix bytes sent in PACKET_IN (default
+	// 128).
+	MissSendLen int
+	// ExpirySweep is the flow-timeout sweep period (default 500 ms).
+	ExpirySweep sim.Duration
+}
+
+func (c *Config) fill() {
+	if c.Ports == 0 {
+		c.Ports = 4
+	}
+	if c.Rate == 0 {
+		c.Rate = wire.Rate10G
+	}
+	if c.TableCap == 0 {
+		c.TableCap = 4096
+	}
+	if c.PipelineLatency == 0 {
+		c.PipelineLatency = 600 * sim.Nanosecond
+	}
+	if c.EgressQueueCap == 0 {
+		c.EgressQueueCap = 512
+	}
+	if c.CtrlLatency == 0 {
+		c.CtrlLatency = 100 * sim.Microsecond
+	}
+	if c.FlowModCost == 0 {
+		c.FlowModCost = 150 * sim.Microsecond
+	}
+	if c.FlowModPerEntry == 0 {
+		c.FlowModPerEntry = 30 * sim.Nanosecond
+	}
+	if c.HWInstallDelay == 0 {
+		c.HWInstallDelay = 1500 * sim.Microsecond
+	}
+	if c.BarrierCost == 0 {
+		c.BarrierCost = 20 * sim.Microsecond
+	}
+	if c.EchoCost == 0 {
+		c.EchoCost = 5 * sim.Microsecond
+	}
+	if c.PacketInCost == 0 {
+		c.PacketInCost = 80 * sim.Microsecond
+	}
+	if c.CPUBacklogCap == 0 {
+		c.CPUBacklogCap = 20 * sim.Millisecond
+	}
+	if c.MissSendLen == 0 {
+		c.MissSendLen = 128
+	}
+	if c.ExpirySweep == 0 {
+		c.ExpirySweep = 500 * sim.Millisecond
+	}
+}
+
+// Switch is one simulated OpenFlow switch.
+type Switch struct {
+	Engine *sim.Engine
+
+	cfg   Config
+	ports []*Port
+
+	// table is the dataplane's view. Control-plane changes land here
+	// only after HWInstallDelay.
+	table *FlowTable
+
+	ctl *Controller // attached control channel, nil if none
+
+	// Management CPU: a single serial server.
+	cpuFreeAt sim.Time
+
+	misses         uint64
+	forwarded      stats.Counter
+	dropsNoRule    uint64
+	sweepScheduled bool
+}
+
+// New builds a switch on the engine.
+func New(e *sim.Engine, cfg Config) *Switch {
+	cfg.fill()
+	s := &Switch{
+		Engine: e,
+		cfg:    cfg,
+		table:  NewFlowTable(cfg.TableCap, cfg.ExactFastPath),
+	}
+	for i := 0; i < cfg.Ports; i++ {
+		s.ports = append(s.ports, &Port{sw: s, index: i})
+	}
+	return s
+}
+
+// NumPorts returns the dataplane port count.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// Port returns port index i (OF port i+1).
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// Table exposes the dataplane flow table (read-mostly; tests inspect
+// it).
+func (s *Switch) Table() *FlowTable { return s.table }
+
+// Misses returns the number of table-miss packets.
+func (s *Switch) Misses() uint64 { return s.misses }
+
+// Forwarded returns counters over frames forwarded by the dataplane.
+func (s *Switch) Forwarded() stats.Counter { return s.forwarded }
+
+// DropsNoRule returns packets dropped because a miss could not be sent
+// to a controller (no channel attached).
+func (s *Switch) DropsNoRule() uint64 { return s.dropsNoRule }
+
+// cpuRun enqueues cost on the serial management CPU and invokes fn when
+// that work completes. It returns the completion instant.
+func (s *Switch) cpuRun(cost sim.Duration, fn func()) sim.Time {
+	now := s.Engine.Now()
+	start := now
+	if s.cpuFreeAt > start {
+		start = s.cpuFreeAt
+	}
+	done := start.Add(cost)
+	s.cpuFreeAt = done
+	if fn != nil {
+		s.Engine.Schedule(done, fn)
+	}
+	return done
+}
+
+// cpuTax consumes CPU without a completion callback, shedding work when
+// the backlog exceeds the cap (dataplane counter work is best-effort;
+// protocol work is not).
+func (s *Switch) cpuTax(cost sim.Duration) {
+	now := s.Engine.Now()
+	if s.cpuFreeAt.Sub(now) > s.cfg.CPUBacklogCap {
+		return
+	}
+	if s.cpuFreeAt < now {
+		s.cpuFreeAt = now
+	}
+	s.cpuFreeAt = s.cpuFreeAt.Add(cost)
+}
+
+// ensureSweep keeps a timeout sweep pending for as long as any installed
+// entry carries a timeout. Demand-driven scheduling keeps the event queue
+// quiescent otherwise, so Engine.Run terminates on idle topologies.
+func (s *Switch) ensureSweep() {
+	if s.sweepScheduled {
+		return
+	}
+	s.sweepScheduled = true
+	s.Engine.ScheduleAfter(s.cfg.ExpirySweep, func() {
+		s.sweepScheduled = false
+		s.sweepExpired()
+		for _, e := range s.table.Entries() {
+			if e.IdleTimeout > 0 || e.HardTimeout > 0 {
+				s.ensureSweep()
+				return
+			}
+		}
+	})
+}
+
+func (s *Switch) sweepExpired() {
+	for _, e := range s.table.Expired(s.Engine.Now()) {
+		if e.Flags&openflow.FlagSendFlowRem != 0 && s.ctl != nil {
+			reason := openflow.RemovedIdleTimeout
+			if e.HardTimeout > 0 {
+				reason = openflow.RemovedHardTimeout
+			}
+			dur := s.Engine.Now().Sub(e.InstalledAt)
+			s.ctl.fromSwitch(&openflow.FlowRemoved{
+				Match: e.Match, Cookie: e.Cookie, Priority: e.Priority,
+				Reason:      reason,
+				DurationSec: uint32(dur / sim.Second), DurationNsec: uint32(dur % sim.Second / sim.Nanosecond),
+				IdleTimeout: e.IdleTimeout,
+				PacketCount: e.Packets, ByteCount: e.Bytes,
+			}, 0)
+		}
+	}
+}
+
+// Port is one dataplane interface.
+type Port struct {
+	sw    *Switch
+	index int
+
+	link  *wire.Link
+	queue []*wire.Frame
+	busy  bool
+	drops uint64
+
+	rx stats.Counter
+	tx stats.Counter
+}
+
+// Index returns the port index (OF port Index()+1).
+func (p *Port) Index() int { return p.index }
+
+// OFPort returns the 1-based OpenFlow port number.
+func (p *Port) OFPort() uint16 { return uint16(p.index + 1) }
+
+// SetLink attaches the egress link.
+func (p *Port) SetLink(l *wire.Link) { p.link = l }
+
+// Drops returns egress queue overflow drops.
+func (p *Port) Drops() uint64 { return p.drops }
+
+// RxStats and TxStats return the port counters (frame sizes, FCS
+// inclusive).
+func (p *Port) RxStats() stats.Counter { return p.rx }
+
+// TxStats returns the transmit counters.
+func (p *Port) TxStats() stats.Counter { return p.tx }
+
+// Receive implements wire.Endpoint: dataplane packet arrival.
+func (p *Port) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
+	p.rx.Add(f.Size)
+	s := p.sw
+	key, err := openflow.KeyFromPacket(f.Data, p.OFPort())
+	if err != nil {
+		return // unparseable runt: dropped
+	}
+	if s.cfg.DataplaneCPUTax > 0 {
+		s.cpuTax(s.cfg.DataplaneCPUTax)
+	}
+	entry := s.table.Lookup(&key)
+	if entry == nil {
+		s.misses++
+		if s.ctl == nil {
+			s.dropsNoRule++
+			return
+		}
+		// Slow path: the CPU builds a PACKET_IN.
+		data := f.Data
+		if len(data) > s.cfg.MissSendLen {
+			data = data[:s.cfg.MissSendLen]
+		}
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		total := uint16(len(f.Data))
+		inPort := p.OFPort()
+		s.cpuRun(s.cfg.PacketInCost, func() {
+			s.ctl.fromSwitch(&openflow.PacketIn{
+				BufferID: 0xffffffff, TotalLen: total, InPort: inPort,
+				Reason: openflow.ReasonNoMatch, Data: cp,
+			}, 0)
+		})
+		return
+	}
+	entry.Packets++
+	entry.Bytes += uint64(f.Size)
+	entry.LastUsed = at
+	out := f
+	ready := at.Add(s.cfg.PipelineLatency)
+	s.applyActions(entry.Actions, out, p, ready)
+}
+
+// applyActions executes an OF 1.0 action list on a frame arriving on
+// ingress in, with forwarding allowed from instant ready.
+func (s *Switch) applyActions(actions []openflow.Action, f *wire.Frame, in *Port, ready sim.Time) {
+	cur := f
+	for _, a := range actions {
+		switch act := a.(type) {
+		case *openflow.ActionOutput:
+			s.output(act, cur.Clone(), in, ready)
+		default:
+			// Header rewrites mutate the working copy carried forward to
+			// subsequent outputs, per OF semantics.
+			cur = cur.Clone()
+			rewriteFrame(cur, a)
+		}
+	}
+}
+
+func (s *Switch) output(act *openflow.ActionOutput, f *wire.Frame, in *Port, ready sim.Time) {
+	switch {
+	case act.Port == openflow.PortController:
+		if s.ctl != nil {
+			data := f.Data
+			maxLen := int(act.MaxLen)
+			if maxLen > 0 && len(data) > maxLen {
+				data = data[:maxLen]
+			}
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			total := uint16(len(f.Data))
+			inPort := in.OFPort()
+			s.cpuRun(s.cfg.PacketInCost, func() {
+				s.ctl.fromSwitch(&openflow.PacketIn{
+					BufferID: 0xffffffff, TotalLen: total, InPort: inPort,
+					Reason: openflow.ReasonAction, Data: cp,
+				}, 0)
+			})
+		}
+	case act.Port == openflow.PortFlood || act.Port == openflow.PortAll:
+		for _, p := range s.ports {
+			if p == in || p.link == nil {
+				continue
+			}
+			p.enqueue(f.Clone(), ready)
+		}
+	case act.Port == openflow.PortInPort:
+		in.enqueue(f, ready)
+	case act.Port >= 1 && int(act.Port) <= len(s.ports):
+		s.ports[act.Port-1].enqueue(f, ready)
+	default:
+		// PortNone / unsupported reserved port: drop.
+	}
+}
+
+func (p *Port) enqueue(f *wire.Frame, earliest sim.Time) {
+	if p.link == nil {
+		return // unconnected port: black hole, as hardware would
+	}
+	if len(p.queue) >= p.sw.cfg.EgressQueueCap {
+		p.drops++
+		return
+	}
+	f.SrcPort = p.index
+	p.queue = append(p.queue, f)
+	p.sendFrom(earliest)
+}
+
+func (p *Port) sendFrom(earliest sim.Time) {
+	if p.busy || len(p.queue) == 0 {
+		return
+	}
+	f := p.queue[0]
+	copy(p.queue, p.queue[1:])
+	p.queue[len(p.queue)-1] = nil
+	p.queue = p.queue[:len(p.queue)-1]
+	p.busy = true
+	end := p.link.TransmitAt(f, earliest)
+	p.tx.Add(f.Size)
+	p.sw.forwarded.Add(f.Size)
+	eventAt := end
+	if now := p.sw.Engine.Now(); eventAt < now {
+		eventAt = now
+	}
+	p.sw.Engine.Schedule(eventAt, func() {
+		p.busy = false
+		p.sendFrom(p.sw.Engine.Now())
+	})
+}
+
+// String describes the switch.
+func (s *Switch) String() string {
+	return fmt.Sprintf("ofswitch(dpid=%#x ports=%d table=%d/%d)",
+		s.cfg.DatapathID, len(s.ports), s.table.Len(), s.cfg.TableCap)
+}

@@ -1,0 +1,165 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"osnt/internal/packet"
+)
+
+// Action type codes (ofp_action_type).
+const (
+	ActTypeOutput     uint16 = 0
+	ActTypeSetVlanVid uint16 = 1
+	ActTypeSetVlanPcp uint16 = 2
+	ActTypeStripVlan  uint16 = 3
+	ActTypeSetDlSrc   uint16 = 4
+	ActTypeSetDlDst   uint16 = 5
+	ActTypeSetNwSrc   uint16 = 6
+	ActTypeSetNwDst   uint16 = 7
+	ActTypeSetNwTos   uint16 = 8
+	ActTypeSetTpSrc   uint16 = 9
+	ActTypeSetTpDst   uint16 = 10
+)
+
+// Action is one ofp_action.
+type Action interface {
+	// ActionType returns the wire action type.
+	ActionType() uint16
+	encode(b []byte) []byte
+}
+
+// ActionOutput forwards to a port (possibly a reserved one).
+type ActionOutput struct {
+	Port   uint16
+	MaxLen uint16 // bytes to send to the controller for PortController
+}
+
+// ActionType implements Action.
+func (*ActionOutput) ActionType() uint16 { return ActTypeOutput }
+func (a *ActionOutput) encode(b []byte) []byte {
+	b = be16(b, ActTypeOutput)
+	b = be16(b, 8)
+	b = be16(b, a.Port)
+	return be16(b, a.MaxLen)
+}
+
+// ActionSetVlanVid rewrites the VLAN id.
+type ActionSetVlanVid struct{ Vid uint16 }
+
+// ActionType implements Action.
+func (*ActionSetVlanVid) ActionType() uint16 { return ActTypeSetVlanVid }
+func (a *ActionSetVlanVid) encode(b []byte) []byte {
+	b = be16(b, ActTypeSetVlanVid)
+	b = be16(b, 8)
+	b = be16(b, a.Vid)
+	return append(b, 0, 0)
+}
+
+// ActionStripVlan removes the VLAN tag.
+type ActionStripVlan struct{}
+
+// ActionType implements Action.
+func (*ActionStripVlan) ActionType() uint16 { return ActTypeStripVlan }
+func (a *ActionStripVlan) encode(b []byte) []byte {
+	b = be16(b, ActTypeStripVlan)
+	b = be16(b, 8)
+	return append(b, 0, 0, 0, 0)
+}
+
+// ActionSetDlAddr rewrites a MAC address (src or dst per the type code).
+type ActionSetDlAddr struct {
+	TypeCode uint16 // ActTypeSetDlSrc or ActTypeSetDlDst
+	Addr     packet.MAC
+}
+
+// ActionType implements Action.
+func (a *ActionSetDlAddr) ActionType() uint16 { return a.TypeCode }
+func (a *ActionSetDlAddr) encode(b []byte) []byte {
+	b = be16(b, a.TypeCode)
+	b = be16(b, 16)
+	b = append(b, a.Addr[:]...)
+	return append(b, make([]byte, 6)...)
+}
+
+// ActionSetNwAddr rewrites an IPv4 address (src or dst per the type
+// code).
+type ActionSetNwAddr struct {
+	TypeCode uint16 // ActTypeSetNwSrc or ActTypeSetNwDst
+	Addr     packet.IP4
+}
+
+// ActionType implements Action.
+func (a *ActionSetNwAddr) ActionType() uint16 { return a.TypeCode }
+func (a *ActionSetNwAddr) encode(b []byte) []byte {
+	b = be16(b, a.TypeCode)
+	b = be16(b, 8)
+	return be32(b, a.Addr.Uint32())
+}
+
+// ActionSetTpPort rewrites a transport port (src or dst per the type
+// code).
+type ActionSetTpPort struct {
+	TypeCode uint16 // ActTypeSetTpSrc or ActTypeSetTpDst
+	Port     uint16
+}
+
+// ActionType implements Action.
+func (a *ActionSetTpPort) ActionType() uint16 { return a.TypeCode }
+func (a *ActionSetTpPort) encode(b []byte) []byte {
+	b = be16(b, a.TypeCode)
+	b = be16(b, 8)
+	b = be16(b, a.Port)
+	return append(b, 0, 0)
+}
+
+func encodeActions(acts []Action) []byte {
+	var b []byte
+	for _, a := range acts {
+		b = a.encode(b)
+	}
+	return b
+}
+
+func decodeActions(d []byte) ([]Action, error) {
+	var acts []Action
+	for len(d) > 0 {
+		if len(d) < 4 {
+			return nil, ErrTruncated
+		}
+		typ := binary.BigEndian.Uint16(d[0:2])
+		length := int(binary.BigEndian.Uint16(d[2:4]))
+		if length < 8 || length%8 != 0 || length > len(d) {
+			return nil, ErrBadLength
+		}
+		body := d[4:length]
+		var a Action
+		switch typ {
+		case ActTypeOutput:
+			a = &ActionOutput{
+				Port:   binary.BigEndian.Uint16(body[0:2]),
+				MaxLen: binary.BigEndian.Uint16(body[2:4]),
+			}
+		case ActTypeSetVlanVid:
+			a = &ActionSetVlanVid{Vid: binary.BigEndian.Uint16(body[0:2])}
+		case ActTypeStripVlan:
+			a = &ActionStripVlan{}
+		case ActTypeSetDlSrc, ActTypeSetDlDst:
+			act := &ActionSetDlAddr{TypeCode: typ}
+			copy(act.Addr[:], body[0:6])
+			a = act
+		case ActTypeSetNwSrc, ActTypeSetNwDst:
+			a = &ActionSetNwAddr{
+				TypeCode: typ,
+				Addr:     packet.IP4FromUint32(binary.BigEndian.Uint32(body[0:4])),
+			}
+		case ActTypeSetTpSrc, ActTypeSetTpDst:
+			a = &ActionSetTpPort{TypeCode: typ, Port: binary.BigEndian.Uint16(body[0:2])}
+		default:
+			return nil, fmt.Errorf("openflow: unsupported action type %d", typ)
+		}
+		acts = append(acts, a)
+		d = d[length:]
+	}
+	return acts, nil
+}

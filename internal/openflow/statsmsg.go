@@ -1,0 +1,292 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Stats types (ofp_stats_types).
+const (
+	StatsDesc      uint16 = 0
+	StatsFlow      uint16 = 1
+	StatsAggregate uint16 = 2
+	StatsTable     uint16 = 3
+	StatsPort      uint16 = 4
+)
+
+// StatsRequest is OFPT_STATS_REQUEST. Exactly one of the typed request
+// bodies is set, matching StatsType.
+type StatsRequest struct {
+	StatsType uint16
+	Flags     uint16
+	Flow      *FlowStatsRequest // StatsFlow and StatsAggregate
+	Port      *PortStatsRequest // StatsPort
+}
+
+// FlowStatsRequest selects the flows a flow/aggregate stats request
+// covers.
+type FlowStatsRequest struct {
+	Match   Match
+	TableID uint8
+	OutPort uint16
+}
+
+// PortStatsRequest selects a port (PortNone = all ports).
+type PortStatsRequest struct {
+	PortNo uint16
+}
+
+// Type implements Message.
+func (*StatsRequest) Type() MsgType { return TypeStatsRequest }
+func (m *StatsRequest) encode(b []byte) []byte {
+	b = be16(b, m.StatsType)
+	b = be16(b, m.Flags)
+	switch m.StatsType {
+	case StatsFlow, StatsAggregate:
+		fr := m.Flow
+		if fr == nil {
+			fr = &FlowStatsRequest{Match: MatchAll(), OutPort: PortNone}
+		}
+		b = fr.Match.encode(b)
+		b = append(b, fr.TableID, 0)
+		b = be16(b, fr.OutPort)
+	case StatsPort:
+		pr := m.Port
+		if pr == nil {
+			pr = &PortStatsRequest{PortNo: PortNone}
+		}
+		b = be16(b, pr.PortNo)
+		b = append(b, make([]byte, 6)...)
+	}
+	return b
+}
+func (m *StatsRequest) decode(d []byte) error {
+	if len(d) < 4 {
+		return ErrTruncated
+	}
+	m.StatsType = binary.BigEndian.Uint16(d[0:2])
+	m.Flags = binary.BigEndian.Uint16(d[2:4])
+	body := d[4:]
+	switch m.StatsType {
+	case StatsFlow, StatsAggregate:
+		if len(body) < matchLen+4 {
+			return ErrTruncated
+		}
+		fr := &FlowStatsRequest{}
+		if err := fr.Match.decode(body); err != nil {
+			return err
+		}
+		fr.TableID = body[matchLen]
+		fr.OutPort = binary.BigEndian.Uint16(body[matchLen+2 : matchLen+4])
+		m.Flow = fr
+	case StatsPort:
+		if len(body) < 8 {
+			return ErrTruncated
+		}
+		m.Port = &PortStatsRequest{PortNo: binary.BigEndian.Uint16(body[0:2])}
+	}
+	return nil
+}
+
+// FlowStats is one ofp_flow_stats entry.
+type FlowStats struct {
+	TableID      uint8
+	Match        Match
+	DurationSec  uint32
+	DurationNsec uint32
+	Priority     uint16
+	IdleTimeout  uint16
+	HardTimeout  uint16
+	Cookie       uint64
+	PacketCount  uint64
+	ByteCount    uint64
+	Actions      []Action
+}
+
+const flowStatsFixed = 4 + matchLen + 44 // length..actions
+
+func (f *FlowStats) encode(b []byte) []byte {
+	acts := encodeActions(f.Actions)
+	b = be16(b, uint16(flowStatsFixed+len(acts)))
+	b = append(b, f.TableID, 0)
+	b = f.Match.encode(b)
+	b = be32(b, f.DurationSec)
+	b = be32(b, f.DurationNsec)
+	b = be16(b, f.Priority)
+	b = be16(b, f.IdleTimeout)
+	b = be16(b, f.HardTimeout)
+	b = append(b, make([]byte, 6)...)
+	b = be64(b, f.Cookie)
+	b = be64(b, f.PacketCount)
+	b = be64(b, f.ByteCount)
+	return append(b, acts...)
+}
+
+func (f *FlowStats) decode(d []byte) (rest []byte, err error) {
+	if len(d) < flowStatsFixed {
+		return nil, ErrTruncated
+	}
+	length := int(binary.BigEndian.Uint16(d[0:2]))
+	if length < flowStatsFixed || length > len(d) {
+		return nil, ErrBadLength
+	}
+	f.TableID = d[2]
+	if err := f.Match.decode(d[4:]); err != nil {
+		return nil, err
+	}
+	p := d[4+matchLen:]
+	f.DurationSec = binary.BigEndian.Uint32(p[0:4])
+	f.DurationNsec = binary.BigEndian.Uint32(p[4:8])
+	f.Priority = binary.BigEndian.Uint16(p[8:10])
+	f.IdleTimeout = binary.BigEndian.Uint16(p[10:12])
+	f.HardTimeout = binary.BigEndian.Uint16(p[12:14])
+	f.Cookie = binary.BigEndian.Uint64(p[20:28])
+	f.PacketCount = binary.BigEndian.Uint64(p[28:36])
+	f.ByteCount = binary.BigEndian.Uint64(p[36:44])
+	f.Actions, err = decodeActions(d[flowStatsFixed:length])
+	if err != nil {
+		return nil, err
+	}
+	return d[length:], nil
+}
+
+// AggregateStats is ofp_aggregate_stats_reply.
+type AggregateStats struct {
+	PacketCount uint64
+	ByteCount   uint64
+	FlowCount   uint32
+}
+
+func (a *AggregateStats) encode(b []byte) []byte {
+	b = be64(b, a.PacketCount)
+	b = be64(b, a.ByteCount)
+	b = be32(b, a.FlowCount)
+	return append(b, 0, 0, 0, 0)
+}
+
+func (a *AggregateStats) decode(d []byte) error {
+	if len(d) < 24 {
+		return ErrTruncated
+	}
+	a.PacketCount = binary.BigEndian.Uint64(d[0:8])
+	a.ByteCount = binary.BigEndian.Uint64(d[8:16])
+	a.FlowCount = binary.BigEndian.Uint32(d[16:20])
+	return nil
+}
+
+// PortStats is one ofp_port_stats entry (the subset of counters the
+// simulated datapath maintains; unsupported counters encode as
+// 0xffffffffffffffff per the spec's "unavailable" convention).
+type PortStats struct {
+	PortNo    uint16
+	RxPackets uint64
+	TxPackets uint64
+	RxBytes   uint64
+	TxBytes   uint64
+	RxDropped uint64
+	TxDropped uint64
+}
+
+const portStatsLen = 104
+
+const unavailable = ^uint64(0)
+
+func (p *PortStats) encode(b []byte) []byte {
+	b = be16(b, p.PortNo)
+	b = append(b, make([]byte, 6)...)
+	b = be64(b, p.RxPackets)
+	b = be64(b, p.TxPackets)
+	b = be64(b, p.RxBytes)
+	b = be64(b, p.TxBytes)
+	b = be64(b, p.RxDropped)
+	b = be64(b, p.TxDropped)
+	for i := 0; i < 6; i++ { // rx_errors..collisions unavailable
+		b = be64(b, unavailable)
+	}
+	return b
+}
+
+func (p *PortStats) decode(d []byte) ([]byte, error) {
+	if len(d) < portStatsLen {
+		return nil, ErrTruncated
+	}
+	p.PortNo = binary.BigEndian.Uint16(d[0:2])
+	p.RxPackets = binary.BigEndian.Uint64(d[8:16])
+	p.TxPackets = binary.BigEndian.Uint64(d[16:24])
+	p.RxBytes = binary.BigEndian.Uint64(d[24:32])
+	p.TxBytes = binary.BigEndian.Uint64(d[32:40])
+	p.RxDropped = binary.BigEndian.Uint64(d[40:48])
+	p.TxDropped = binary.BigEndian.Uint64(d[48:56])
+	return d[portStatsLen:], nil
+}
+
+// StatsReply is OFPT_STATS_REPLY. The body matching StatsType is set.
+type StatsReply struct {
+	StatsType uint16
+	Flags     uint16
+	Flows     []FlowStats     // StatsFlow
+	Aggregate *AggregateStats // StatsAggregate
+	Ports     []PortStats     // StatsPort
+}
+
+// Type implements Message.
+func (*StatsReply) Type() MsgType { return TypeStatsReply }
+func (m *StatsReply) encode(b []byte) []byte {
+	b = be16(b, m.StatsType)
+	b = be16(b, m.Flags)
+	switch m.StatsType {
+	case StatsFlow:
+		for i := range m.Flows {
+			b = m.Flows[i].encode(b)
+		}
+	case StatsAggregate:
+		agg := m.Aggregate
+		if agg == nil {
+			agg = &AggregateStats{}
+		}
+		b = agg.encode(b)
+	case StatsPort:
+		for i := range m.Ports {
+			b = m.Ports[i].encode(b)
+		}
+	}
+	return b
+}
+func (m *StatsReply) decode(d []byte) error {
+	if len(d) < 4 {
+		return ErrTruncated
+	}
+	m.StatsType = binary.BigEndian.Uint16(d[0:2])
+	m.Flags = binary.BigEndian.Uint16(d[2:4])
+	body := d[4:]
+	switch m.StatsType {
+	case StatsFlow:
+		m.Flows = nil
+		for len(body) > 0 {
+			var fs FlowStats
+			rest, err := fs.decode(body)
+			if err != nil {
+				return err
+			}
+			m.Flows = append(m.Flows, fs)
+			body = rest
+		}
+	case StatsAggregate:
+		m.Aggregate = &AggregateStats{}
+		return m.Aggregate.decode(body)
+	case StatsPort:
+		m.Ports = nil
+		for len(body) > 0 {
+			var ps PortStats
+			rest, err := ps.decode(body)
+			if err != nil {
+				return err
+			}
+			m.Ports = append(m.Ports, ps)
+			body = rest
+		}
+	default:
+		return fmt.Errorf("openflow: unsupported stats type %d", m.StatsType)
+	}
+	return nil
+}

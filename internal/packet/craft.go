@@ -1,0 +1,84 @@
+package packet
+
+// This file provides convenience constructors for the packets the OSNT
+// generator, examples and tests craft most often.
+
+// UDPSpec describes a UDP-in-IPv4-in-Ethernet packet to craft.
+type UDPSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IP4
+	SrcPort, DstPort uint16
+	TTL              uint8 // default 64
+	TOS              uint8
+	// FrameSize is the desired FCS-inclusive frame size (64–1518). The
+	// payload is padded with zeroes to reach it. Zero means "just the
+	// headers plus Payload".
+	FrameSize int
+	Payload   []byte
+}
+
+// Build crafts the packet (without FCS) into a fresh slice.
+func (s UDPSpec) Build() []byte {
+	ttl := s.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	payload := s.Payload
+	if s.FrameSize > 0 {
+		want := s.FrameSize - 4 - EthernetHeaderLen - IPv4MinLen - UDPHeaderLen
+		if want < len(payload) {
+			want = len(payload)
+		}
+		p := make([]byte, want)
+		copy(p, payload)
+		payload = p
+	}
+	udp := &UDP{SrcPort: s.SrcPort, DstPort: s.DstPort}
+	udp.SetNetworkForChecksum(s.SrcIP, s.DstIP)
+	ip := &IPv4{TOS: s.TOS, TTL: ttl, Proto: ProtoUDP, Src: s.SrcIP, Dst: s.DstIP}
+	eth := &Ethernet{Dst: s.DstMAC, Src: s.SrcMAC, EtherType: EtherTypeIPv4}
+	buf := NewSerializeBuffer(EthernetHeaderLen+IPv4MinLen+UDPHeaderLen, len(payload))
+	out, err := Serialize(buf, SerializeOptions{FixLengths: true, ComputeChecksums: true},
+		eth, ip, udp, Payload(payload))
+	if err != nil {
+		panic("packet: UDP craft failed: " + err.Error()) // all inputs validated above
+	}
+	res := make([]byte, len(out))
+	copy(res, out)
+	return res
+}
+
+// TCPSpec describes a TCP-in-IPv4-in-Ethernet packet to craft.
+type TCPSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IP4
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Payload          []byte
+}
+
+// Build crafts the packet (without FCS) into a fresh slice.
+func (s TCPSpec) Build() []byte {
+	tcp := &TCP{
+		SrcPort: s.SrcPort, DstPort: s.DstPort,
+		Seq: s.Seq, Ack: s.Ack, Flags: s.Flags, Window: s.Window,
+	}
+	tcp.SetNetworkForChecksum(s.SrcIP, s.DstIP)
+	ip := &IPv4{TTL: 64, Proto: ProtoTCP, Src: s.SrcIP, Dst: s.DstIP}
+	eth := &Ethernet{Dst: s.DstMAC, Src: s.SrcMAC, EtherType: EtherTypeIPv4}
+	buf := NewSerializeBuffer(EthernetHeaderLen+IPv4MinLen+TCPMinLen, len(s.Payload))
+	out, err := Serialize(buf, SerializeOptions{FixLengths: true, ComputeChecksums: true},
+		eth, ip, tcp, Payload(s.Payload))
+	if err != nil {
+		panic("packet: TCP craft failed: " + err.Error())
+	}
+	res := make([]byte, len(out))
+	copy(res, out)
+	return res
+}
+
+// MinUDPFrameSize is the smallest FCS-inclusive frame a UDPSpec can build
+// (headers only, padded to the Ethernet minimum).
+const MinUDPFrameSize = 64

@@ -1,0 +1,147 @@
+package packet
+
+import "fmt"
+
+// Flow is the canonical 5-tuple of a packet plus address family, usable as
+// a map key. IPv4 addresses occupy the first four bytes of the arrays.
+type Flow struct {
+	V6               bool
+	Src, Dst         IP6
+	Proto            byte
+	SrcPort, DstPort uint16
+}
+
+// ExtractFlow parses just enough of an Ethernet frame to build its flow
+// 5-tuple, skipping a single 802.1Q tag if present. It allocates nothing.
+// ok is false for non-IP frames or truncated headers; ARP and other
+// non-IP traffic simply has no 5-tuple.
+func ExtractFlow(data []byte) (f Flow, ok bool) {
+	if len(data) < EthernetHeaderLen {
+		return f, false
+	}
+	et := beU16(data[12:14])
+	off := EthernetHeaderLen
+	if et == EtherTypeVLAN {
+		if len(data) < off+VLANHeaderLen {
+			return f, false
+		}
+		et = beU16(data[off+2 : off+4])
+		off += VLANHeaderLen
+	}
+	switch et {
+	case EtherTypeIPv4:
+		if len(data) < off+IPv4MinLen {
+			return f, false
+		}
+		ip := data[off:]
+		ihl := int(ip[0]&0x0f) * 4
+		if ip[0]>>4 != 4 || ihl < IPv4MinLen || len(ip) < ihl {
+			return f, false
+		}
+		copy(f.Src[:4], ip[12:16])
+		copy(f.Dst[:4], ip[16:20])
+		f.Proto = ip[9]
+		// Fragments with nonzero offset carry no transport header.
+		if beU16(ip[6:8])&0x1fff == 0 {
+			f.SrcPort, f.DstPort = transportPorts(f.Proto, ip[ihl:])
+		}
+		return f, true
+	case EtherTypeIPv6:
+		if len(data) < off+IPv6HeaderLen {
+			return f, false
+		}
+		ip := data[off:]
+		if ip[0]>>4 != 6 {
+			return f, false
+		}
+		f.V6 = true
+		copy(f.Src[:], ip[8:24])
+		copy(f.Dst[:], ip[24:40])
+		f.Proto = ip[6]
+		f.SrcPort, f.DstPort = transportPorts(f.Proto, ip[IPv6HeaderLen:])
+		return f, true
+	}
+	return f, false
+}
+
+func transportPorts(proto byte, l4 []byte) (src, dst uint16) {
+	switch proto {
+	case ProtoTCP, ProtoUDP:
+		if len(l4) >= 4 {
+			return beU16(l4[0:2]), beU16(l4[2:4])
+		}
+	}
+	return 0, 0
+}
+
+// SrcIP4 returns the IPv4 source address of a v4 flow.
+func (f Flow) SrcIP4() IP4 { return IP4{f.Src[0], f.Src[1], f.Src[2], f.Src[3]} }
+
+// DstIP4 returns the IPv4 destination address of a v4 flow.
+func (f Flow) DstIP4() IP4 { return IP4{f.Dst[0], f.Dst[1], f.Dst[2], f.Dst[3]} }
+
+// Reverse returns the flow with endpoints swapped.
+func (f Flow) Reverse() Flow {
+	f.Src, f.Dst = f.Dst, f.Src
+	f.SrcPort, f.DstPort = f.DstPort, f.SrcPort
+	return f
+}
+
+// String renders the flow as "src:port > dst:port/proto".
+func (f Flow) String() string {
+	if f.V6 {
+		return fmt.Sprintf("[%s]:%d > [%s]:%d/%d", f.Src, f.SrcPort, f.Dst, f.DstPort, f.Proto)
+	}
+	return fmt.Sprintf("%s:%d > %s:%d/%d", f.SrcIP4(), f.SrcPort, f.DstIP4(), f.DstPort, f.Proto)
+}
+
+// fnv-1a constants.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Hash returns a 64-bit FNV-1a hash of the flow, suitable for
+// load-balancing captured packets across rings. Different directions of
+// the same conversation hash differently; see SymmetricHash.
+func (f Flow) Hash() uint64 {
+	h := fnvOffset
+	h = fnvBytes(h, f.Src[:])
+	h = fnvBytes(h, f.Dst[:])
+	h = fnvByte(h, f.Proto)
+	h = fnvByte(h, byte(f.SrcPort>>8))
+	h = fnvByte(h, byte(f.SrcPort))
+	h = fnvByte(h, byte(f.DstPort>>8))
+	h = fnvByte(h, byte(f.DstPort))
+	if f.V6 {
+		h = fnvByte(h, 1)
+	}
+	return h
+}
+
+// SymmetricHash hashes both directions of a conversation to the same
+// value (gopacket's FastHash property), so a load balancer keeps
+// request and response on the same queue.
+func (f Flow) SymmetricHash() uint64 {
+	a, b := f.Hash(), f.Reverse().Hash()
+	return a ^ b
+}
+
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, v := range b {
+		h = (h ^ uint64(v)) * fnvPrime
+	}
+	return h
+}
+
+func fnvByte(h uint64, v byte) uint64 { return (h ^ uint64(v)) * fnvPrime }
+
+// PacketDigest returns a 64-bit FNV-1a hash over up to the first n bytes
+// of the frame. The OSNT monitor's hardware hash unit uses this to let
+// software match a thinned capture against the original packet.
+func PacketDigest(data []byte, n int) uint64 {
+	if n > len(data) || n <= 0 {
+		n = len(data)
+	}
+	return fnvBytes(fnvOffset, data[:n])
+}

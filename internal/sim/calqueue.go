@@ -1,0 +1,76 @@
+package sim
+
+// CalendarQueue is an alternative pending-event set implementation used by
+// the ablation benchmarks in DESIGN.md ("binary-heap event queue vs
+// calendar bucketing"). It is a classic calendar queue: a ring of time
+// buckets of fixed width; Pop scans forward from the current bucket.
+//
+// It is intentionally not wired into Engine — the heap is the default
+// because the calendar queue degrades when event spacing is far from the
+// bucket width — but the benchmark quantifies that trade-off on the
+// simulator's actual workload shape.
+type CalendarQueue struct {
+	buckets [][]*Event
+	width   Duration // virtual-time width of one bucket
+	cursor  int      // bucket holding the earliest possible event
+	base    Time     // start time of the cursor bucket's current lap
+	size    int
+	seq     uint64
+}
+
+// NewCalendarQueue builds a queue of n buckets each spanning width of
+// virtual time.
+func NewCalendarQueue(n int, width Duration) *CalendarQueue {
+	if n <= 0 || width <= 0 {
+		panic("sim: invalid calendar queue shape")
+	}
+	return &CalendarQueue{buckets: make([][]*Event, n), width: width}
+}
+
+// Len returns the number of queued events.
+func (q *CalendarQueue) Len() int { return q.size }
+
+// Push inserts an event at instant at.
+func (q *CalendarQueue) Push(at Time, fn func()) *Event {
+	ev := &Event{at: at, seq: q.seq, fn: fn}
+	q.seq++
+	idx := int(int64(at) / int64(q.width) % int64(len(q.buckets)))
+	// Insertion keeps buckets sorted; buckets are short when the width is
+	// well matched to event spacing, so linear insertion is fine.
+	b := q.buckets[idx]
+	pos := len(b)
+	for pos > 0 && (b[pos-1].at > at || (b[pos-1].at == at && b[pos-1].seq > ev.seq)) {
+		pos--
+	}
+	b = append(b, nil)
+	copy(b[pos+1:], b[pos:])
+	b[pos] = ev
+	q.buckets[idx] = b
+	q.size++
+	return ev
+}
+
+// Pop removes and returns the earliest event, or nil when empty.
+func (q *CalendarQueue) Pop() *Event {
+	if q.size == 0 {
+		return nil
+	}
+	for {
+		b := q.buckets[q.cursor]
+		// The head of the bucket belongs to the current lap when its
+		// timestamp falls inside [base, base+width).
+		if len(b) > 0 && b[0].at < q.base.Add(q.width) {
+			ev := b[0]
+			copy(b, b[1:])
+			b[len(b)-1] = nil
+			q.buckets[q.cursor] = b[:len(b)-1]
+			q.size--
+			return ev
+		}
+		q.cursor++
+		q.base = q.base.Add(q.width)
+		if q.cursor == len(q.buckets) {
+			q.cursor = 0
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. It is returned by the Schedule family so
+// callers can cancel pending work (for example a retransmit timer).
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among events at the same instant
+	fn     func()
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+}
+
+// At returns the instant the event is scheduled for.
+func (ev *Event) At() Time { return ev.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (ev *Event) Cancel() { ev.cancel = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (ev *Event) Cancelled() bool { return ev.cancel }
+
+// eventHeap orders events by time, then by insertion sequence so that
+// events scheduled for the same instant fire in FIFO order. Deterministic
+// ordering is essential: experiment results must not depend on map or heap
+// tie-breaking accidents.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// not ready to use; construct one with NewEngine.
+//
+// Engine is deliberately not safe for concurrent use: OSNT's hardware
+// pipelines are modelled as a causal sequence of events, and determinism is
+// a design requirement (see DESIGN.md).
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	running bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with its clock at instant 0 and an empty
+// event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the total number of events executed so far. Useful for
+// workload accounting in benchmarks.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule queues fn to run at instant at. Scheduling in the past panics:
+// it would mean a component violated causality, which is always a bug.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAfter queues fn to run d after the current instant. A negative d
+// panics.
+func (e *Engine) ScheduleAfter(d Duration, fn func()) *Event {
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Step executes the next pending event, advancing the clock to its instant.
+// It returns false when the queue is empty. Cancelled events are discarded
+// without advancing the clock.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	e.running = true
+	for e.running && e.Step() {
+	}
+	e.running = false
+}
+
+// RunUntil executes events up to and including instant t, then sets the
+// clock to t. Events scheduled after t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	e.running = true
+	for e.running {
+		next, ok := e.peek()
+		if !ok || next > t {
+			break
+		}
+		e.Step()
+	}
+	e.running = false
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for a span d of virtual time from the current
+// instant.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Stop makes a Run/RunUntil in progress return after the current event.
+// Calling Stop outside an event callback has no effect.
+func (e *Engine) Stop() { e.running = false }
+
+// Peek returns the instant of the next pending event without executing
+// it.
+func (e *Engine) Peek() (Time, bool) { return e.peek() }
+
+func (e *Engine) peek() (Time, bool) {
+	for len(e.queue) > 0 {
+		if e.queue[0].cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].at, true
+	}
+	return 0, false
+}
+
+// Every schedules fn at t0, t0+period, t0+2*period, ... until the returned
+// Ticker is stopped. fn observes the engine clock at each firing.
+func (e *Engine) Every(t0 Time, period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.ev = e.Schedule(t0, t.fire)
+	return t
+}
+
+// Ticker repeatedly fires a callback at a fixed virtual-time period.
+type Ticker struct {
+	engine  *Engine
+	period  Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) fire() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped { // fn may have stopped the ticker
+		t.ev = t.engine.ScheduleAfter(t.period, t.fire)
+	}
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

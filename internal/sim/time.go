@@ -1,0 +1,111 @@
+// Package sim provides the discrete-event simulation engine that stands in
+// for the NetFPGA-10G hardware substrate of OSNT.
+//
+// All OSNT components (MACs, timestamp units, DMA engines, switches under
+// test) advance a shared virtual clock with picosecond resolution. Because
+// time is virtual, a 10 Gb/s data path can be modelled exactly: no garbage
+// collection pause or scheduler hiccup can distort a measurement, and every
+// run is deterministic and repeatable.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant in virtual time, measured in integer picoseconds from
+// the start of the simulation. At 10 Gb/s one bit lasts 100 ps and one byte
+// 800 ps, so picoseconds represent every event on the wire exactly.
+// The int64 range covers about 106 days of virtual time.
+type Time int64
+
+// Duration is a span of virtual time in picoseconds.
+type Duration int64
+
+// Common durations, expressed in picoseconds.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Picoseconds returns t as an integer count of picoseconds.
+func (t Time) Picoseconds() int64 { return int64(t) }
+
+// Nanoseconds returns t rounded down to nanoseconds.
+func (t Time) Nanoseconds() int64 { return int64(t) / int64(Nanosecond) }
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Std converts t to a time.Duration from the simulation epoch, saturating
+// instead of overflowing (time.Duration has nanosecond resolution, so the
+// conversion is always in range for valid Times).
+func (t Time) Std() time.Duration { return time.Duration(t.Nanoseconds()) * time.Nanosecond }
+
+// String formats t with an adaptive unit, e.g. "1.5µs" or "2.000s".
+func (t Time) String() string { return Duration(t).String() }
+
+// Picoseconds returns d as an integer count of picoseconds.
+func (d Duration) Picoseconds() int64 { return int64(d) }
+
+// Nanoseconds returns d in nanoseconds, truncated toward zero.
+func (d Duration) Nanoseconds() int64 { return int64(d) / int64(Nanosecond) }
+
+// Microseconds returns d in microseconds, truncated toward zero.
+func (d Duration) Microseconds() int64 { return int64(d) / int64(Microsecond) }
+
+// Seconds returns d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Std converts d to a time.Duration (nanosecond resolution).
+func (d Duration) Std() time.Duration { return time.Duration(d.Nanoseconds()) * time.Nanosecond }
+
+// DurationOf converts a standard library duration into a simulation
+// Duration.
+func DurationOf(d time.Duration) Duration { return Duration(d.Nanoseconds()) * Nanosecond }
+
+// Picoseconds builds a Duration from an integer picosecond count.
+func Picoseconds(ps int64) Duration { return Duration(ps) }
+
+// Nanoseconds builds a Duration from an integer nanosecond count.
+func Nanoseconds(ns int64) Duration { return Duration(ns) * Nanosecond }
+
+// Microseconds builds a Duration from an integer microsecond count.
+func Microseconds(us int64) Duration { return Duration(us) * Microsecond }
+
+// Milliseconds builds a Duration from an integer millisecond count.
+func Milliseconds(ms int64) Duration { return Duration(ms) * Millisecond }
+
+// Seconds builds a Duration from floating-point seconds. Fractions below
+// one picosecond are truncated.
+func Seconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// String formats d with an adaptive unit.
+func (d Duration) String() string {
+	neg := ""
+	if d < 0 {
+		neg = "-"
+		d = -d
+	}
+	switch {
+	case d < Nanosecond:
+		return fmt.Sprintf("%s%dps", neg, int64(d))
+	case d < Microsecond:
+		return fmt.Sprintf("%s%.3gns", neg, float64(d)/float64(Nanosecond))
+	case d < Millisecond:
+		return fmt.Sprintf("%s%.4gµs", neg, float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%s%.4gms", neg, float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%s%.4gs", neg, float64(d)/float64(Second))
+	}
+}

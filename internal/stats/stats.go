@@ -1,0 +1,326 @@
+// Package stats provides the streaming statistics the OSNT host tools
+// report: latency histograms with percentile queries, running
+// mean/variance, rate meters and simple time series. Everything is
+// allocation-light so it can run inside per-packet callbacks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Histogram is an HDR-style log-linear histogram of non-negative int64
+// samples (typically latencies in picoseconds or nanoseconds). Values are
+// bucketed by power of two with subBuckets linear divisions inside each
+// power, giving a bounded relative error of 1/subBuckets while covering
+// the full int64 range in a few KiB.
+type Histogram struct {
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+// subBucketBits fixes the relative resolution: 64 sub-buckets per octave
+// keeps quantile error under ~1.6%.
+const subBucketBits = 6
+const subBuckets = 1 << subBucketBits
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		counts: make([]uint64, (64-subBucketBits)*subBuckets),
+		min:    math.MaxInt64,
+	}
+}
+
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u)
+	}
+	top := 63 - bits.LeadingZeros64(u)
+	shift := top - subBucketBits
+	sub := int(u>>uint(shift)) - subBuckets // 0..subBuckets-1
+	return (shift+1)*subBuckets + sub
+}
+
+// bucketLow returns the smallest value mapping to index i, the value
+// reported for quantiles in that bucket.
+func bucketLow(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	shift := i/subBuckets - 1
+	sub := i % subBuckets
+	return int64(subBuckets+sub) << uint(shift)
+}
+
+// Record adds one sample. Negative samples are clamped to zero (latency
+// can round slightly negative when two clocks disagree; the clamp keeps
+// the histogram meaningful while Mean still reflects the raw value).
+func (h *Histogram) Record(v int64) {
+	h.sum += float64(v)
+	if v < 0 {
+		v = 0
+	}
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketIndex(v)]++
+	h.count++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of the raw samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest recorded sample (clamped at 0), or 0 when
+// empty.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile returns the value at quantile p in [0,100]. The result is
+// the lower bound of the bucket containing the quantile, so it
+// underestimates by at most one part in 64.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// Merge adds all of o's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.count > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+// Summary formats count/mean/p50/p99/max using unit as a divisor (e.g.
+// 1000 to display picosecond samples in nanoseconds).
+func (h *Histogram) Summary(unit float64, unitName string) string {
+	return fmt.Sprintf("n=%d mean=%.1f%s p50=%.1f%s p99=%.1f%s max=%.1f%s",
+		h.count, h.Mean()/unit, unitName,
+		float64(h.Percentile(50))/unit, unitName,
+		float64(h.Percentile(99))/unit, unitName,
+		float64(h.max)/unit, unitName)
+}
+
+// Welford tracks running mean and variance without storing samples.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance (n-1 denominator).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Counter is a monotonically increasing event/byte counter pair, the
+// shape of every OSNT hardware statistics register.
+type Counter struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// Add counts one packet of n bytes.
+func (c *Counter) Add(n int) {
+	c.Packets++
+	c.Bytes += uint64(n)
+}
+
+// Sub returns the difference c-o, for interval rates.
+func (c Counter) Sub(o Counter) Counter {
+	return Counter{Packets: c.Packets - o.Packets, Bytes: c.Bytes - o.Bytes}
+}
+
+// BitsPerSecond converts a byte delta over elapsed seconds to a bit rate.
+func (c Counter) BitsPerSecond(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Bytes) * 8 / elapsed
+}
+
+// PacketsPerSecond converts a packet delta over elapsed seconds to pps.
+func (c Counter) PacketsPerSecond(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Packets) / elapsed
+}
+
+// Series is an append-only (x, y) sequence used to hold experiment
+// curves (e.g. latency vs offered load).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one sample of a series.
+type Point struct{ X, Y float64 }
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// YAt returns the Y of the point with the given X, or ok=false.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// MaxY returns the largest Y in the series, or 0 when empty.
+func (s *Series) MaxY() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.Y > m {
+			m = p.Y
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Table is a printable experiment result: the harness emits one per
+// paper table/figure.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Quantiles computes exact quantiles of a small sample set (sorts a
+// copy). For the big streams use Histogram instead.
+func Quantiles(samples []float64, qs ...float64) []float64 {
+	if len(samples) == 0 {
+		return make([]float64, len(qs))
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		pos := q / 100 * float64(len(s)-1)
+		lo := int(pos)
+		hi := lo + 1
+		if hi >= len(s) {
+			out[i] = s[len(s)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = s[lo]*(1-frac) + s[hi]*frac
+	}
+	return out
+}

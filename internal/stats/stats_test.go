@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); m != 50.5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	// With 64 sub-buckets, values ≤ 127 are exact.
+	if p := h.Percentile(50); p != 50 {
+		t.Fatalf("p50 = %d, want 50", p)
+	}
+	if p := h.Percentile(99); p != 99 {
+		t.Fatalf("p99 = %d, want 99", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %d, want 100", p)
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	h := NewHistogram()
+	const v = 1_000_000
+	h.Record(v)
+	got := h.Percentile(50)
+	if got > v || float64(v-got)/v > 1.0/64 {
+		t.Fatalf("p50 of single sample %d = %d (error > 1/64)", v, got)
+	}
+}
+
+// Property: for any sample, the bucket's reported value is ≤ the sample
+// and within 1/64 relative error.
+func TestPropertyBucketError(t *testing.T) {
+	f := func(raw uint64) bool {
+		v := int64(raw >> 1) // non-negative
+		lo := bucketLow(bucketIndex(v))
+		if lo > v {
+			return false
+		}
+		if v >= 64 && float64(v-lo) > float64(v)/64 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bucketLow(bucketIndex(v)) maps into the same bucket (the
+// bucket function is idempotent on its representative).
+func TestPropertyBucketIdempotent(t *testing.T) {
+	f := func(raw uint64) bool {
+		v := int64(raw >> 1)
+		i := bucketIndex(v)
+		return bucketIndex(bucketLow(i)) == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramNegativeClamp(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("negative sample not clamped to 0 bucket")
+	}
+	if h.Mean() != -5 {
+		t.Fatalf("Mean should keep raw value, got %v", h.Mean())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(0); i < 50; i++ {
+		a.Record(i)
+	}
+	for i := int64(50); i < 100; i++ {
+		b.Record(i)
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 99 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	// Samples are 0..99, so the 50th smallest (rank ceil(0.5·100)) is 49.
+	if p := a.Percentile(50); p != 49 {
+		t.Fatalf("merged p50 = %d", p)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	s := h.Summary(1000, "ns")
+	if !strings.Contains(s, "n=1") || !strings.Contains(s, "mean=1.0ns") {
+		t.Fatalf("Summary = %q", s)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if w.Mean() != 5 {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	// Sample variance of that classic set is 32/7.
+	if v := w.Variance(); math.Abs(v-32.0/7) > 1e-9 {
+		t.Fatalf("Variance = %v, want %v", v, 32.0/7)
+	}
+	if s := w.Stddev(); math.Abs(s-math.Sqrt(32.0/7)) > 1e-9 {
+		t.Fatalf("Stddev = %v", s)
+	}
+}
+
+func TestWelfordFewSamples(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 {
+		t.Fatal("variance of empty set")
+	}
+	w.Add(3)
+	if w.Variance() != 0 {
+		t.Fatal("variance of single sample")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(64)
+	c.Add(1500)
+	if c.Packets != 2 || c.Bytes != 1564 {
+		t.Fatalf("counter %+v", c)
+	}
+	d := c.Sub(Counter{Packets: 1, Bytes: 64})
+	if d.Packets != 1 || d.Bytes != 1500 {
+		t.Fatalf("sub %+v", d)
+	}
+	if bps := d.BitsPerSecond(2); bps != 6000 {
+		t.Fatalf("bps = %v", bps)
+	}
+	if pps := d.PacketsPerSecond(0.5); pps != 2 {
+		t.Fatalf("pps = %v", pps)
+	}
+	if d.BitsPerSecond(0) != 0 || d.PacketsPerSecond(-1) != 0 {
+		t.Fatal("zero elapsed must not divide")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 30)
+	s.Add(3, 20)
+	if y, ok := s.YAt(2); !ok || y != 30 {
+		t.Fatalf("YAt(2) = %v %v", y, ok)
+	}
+	if _, ok := s.YAt(99); ok {
+		t.Fatal("YAt of missing x")
+	}
+	if s.MaxY() != 30 {
+		t.Fatalf("MaxY = %v", s.MaxY())
+	}
+	var empty Series
+	if empty.MaxY() != 0 {
+		t.Fatal("MaxY of empty series")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"size", "rate"}}
+	tb.AddRow("64", "14.88")
+	tb.AddRow("1518", "0.81")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "64  ") {
+		t.Fatalf("row align: %q", lines[2])
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	qs := Quantiles(s, 0, 50, 100)
+	if qs[0] != 1 || qs[2] != 10 {
+		t.Fatalf("q0/q100 = %v/%v", qs[0], qs[2])
+	}
+	if qs[1] != 5.5 {
+		t.Fatalf("median = %v, want 5.5", qs[1])
+	}
+	if got := Quantiles(nil, 50); got[0] != 0 {
+		t.Fatal("empty quantiles")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%1000000 + 500))
+	}
+}
+
+func BenchmarkHistogramPercentile(b *testing.B) {
+	h := NewHistogram()
+	for i := int64(0); i < 1_000_000; i++ {
+		h.Record(i % 100000)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Percentile(99)
+	}
+}

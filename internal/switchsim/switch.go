@@ -1,0 +1,313 @@
+// Package switchsim models the legacy Ethernet switches OSNT's demo
+// measures: a learning switch with a shared lookup/fabric pipeline,
+// bounded output queues, and a choice of store-and-forward or cut-through
+// forwarding. The model is parametric so every latency-vs-load curve in
+// the experiments has controlled ground truth.
+//
+// Packet latency through the model decomposes exactly as on real
+// hardware: ingress serialisation (store-and-forward only) + pipeline
+// latency + lookup service (per-ingress server; queueing appears when the
+// offered packet rate approaches its capacity, slightly above line rate)
+// + egress queueing + egress serialisation.
+package switchsim
+
+import (
+	"fmt"
+
+	"osnt/internal/packet"
+	"osnt/internal/sim"
+	"osnt/internal/stats"
+	"osnt/internal/wire"
+)
+
+// ForwardingMode selects when the switch may start transmitting a frame.
+type ForwardingMode int
+
+// Forwarding modes.
+const (
+	// StoreAndForward waits for the full frame before the lookup.
+	StoreAndForward ForwardingMode = iota
+	// CutThrough starts the lookup as soon as the 64-byte header window
+	// has arrived.
+	CutThrough
+)
+
+// String names the mode.
+func (m ForwardingMode) String() string {
+	if m == CutThrough {
+		return "cut-through"
+	}
+	return "store-and-forward"
+}
+
+// cutThroughWindow is the bytes a cut-through switch must receive before
+// it can make a forwarding decision.
+const cutThroughWindow = 64
+
+// Config parameterises a switch.
+type Config struct {
+	// Ports is the port count (default 4).
+	Ports int
+	// Rate is the per-port line rate (default 10 Gb/s).
+	Rate wire.Rate
+	// Mode selects store-and-forward (default) or cut-through.
+	Mode ForwardingMode
+	// PipelineLatency is the fixed parse/lookup/fabric delay every packet
+	// experiences regardless of load (default 450 ns, a typical ToR
+	// figure). It is pipelined: it adds latency but consumes no
+	// throughput.
+	PipelineLatency sim.Duration
+	// LookupPerPacket is the per-packet service time of each ingress
+	// lookup engine (default 20 ns); together with LookupPerByte it sets
+	// the pipeline's capacity.
+	LookupPerPacket sim.Duration
+	// LookupPerByte adds a per-byte service cost; the default (0.76 ns/B,
+	// ≈5% fabric overspeed at 10G) makes the pipeline saturate just
+	// above line rate, producing the classic latency hockey stick.
+	LookupPerByte sim.Duration
+	// LookupJitter adds uniform noise to each lookup service time: a
+	// value j draws the service from [1-j, 1+j] times the mean. Real
+	// lookup engines (hash probes, TCAM arbitration) are not perfectly
+	// deterministic; jitter is what turns queueing near saturation into
+	// the gradual latency rise measured on real devices. Default 0
+	// (deterministic), opt in per experiment.
+	LookupJitter float64
+	// Seed feeds the jitter random stream.
+	Seed uint64
+	// LookupQueueCap bounds each ingress lookup queue in packets (default
+	// 512); overflow is dropped and counted.
+	LookupQueueCap int
+	// EgressQueueCap bounds each output queue in packets (default 512).
+	EgressQueueCap int
+}
+
+func (c *Config) fill() {
+	if c.Ports == 0 {
+		c.Ports = 4
+	}
+	if c.Rate == 0 {
+		c.Rate = wire.Rate10G
+	}
+	if c.PipelineLatency == 0 {
+		c.PipelineLatency = 450 * sim.Nanosecond
+	}
+	if c.LookupPerPacket == 0 {
+		c.LookupPerPacket = 20 * sim.Nanosecond
+	}
+	if c.LookupPerByte == 0 {
+		c.LookupPerByte = sim.Picoseconds(760)
+	}
+	if c.LookupQueueCap == 0 {
+		c.LookupQueueCap = 512
+	}
+	if c.EgressQueueCap == 0 {
+		c.EgressQueueCap = 512
+	}
+}
+
+// Switch is one simulated device under test.
+type Switch struct {
+	Engine *sim.Engine
+
+	cfg   Config
+	ports []*Port
+	fdb   map[packet.MAC]int
+	rand  *sim.Rand
+
+	lookupDrops uint64
+	floods      uint64
+	forwarded   stats.Counter
+}
+
+type pendingLookup struct {
+	f       *wire.Frame
+	inPort  int
+	readyAt sim.Time // decision + pipeline latency complete
+}
+
+// New builds a switch on the engine.
+func New(e *sim.Engine, cfg Config) *Switch {
+	cfg.fill()
+	s := &Switch{Engine: e, cfg: cfg, fdb: make(map[packet.MAC]int), rand: sim.NewRand(cfg.Seed ^ 0x5057)}
+	for i := 0; i < cfg.Ports; i++ {
+		s.ports = append(s.ports, &Port{sw: s, index: i})
+	}
+	return s
+}
+
+// NumPorts returns the port count.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// Port returns port i.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// Mode returns the forwarding mode.
+func (s *Switch) Mode() ForwardingMode { return s.cfg.Mode }
+
+// LookupDrops returns packets dropped at saturated ingress lookup
+// pipelines.
+func (s *Switch) LookupDrops() uint64 { return s.lookupDrops }
+
+// Floods returns packets flooded for unknown/broadcast destinations.
+func (s *Switch) Floods() uint64 { return s.floods }
+
+// Forwarded returns counters over frames that left an egress queue.
+func (s *Switch) Forwarded() stats.Counter { return s.forwarded }
+
+// MACTable returns a copy of the learned station table.
+func (s *Switch) MACTable() map[packet.MAC]int {
+	out := make(map[packet.MAC]int, len(s.fdb))
+	for k, v := range s.fdb {
+		out[k] = v
+	}
+	return out
+}
+
+// receive is called by a Port when a frame has fully arrived (the event
+// fires at the last bit; cut-through work is backdated to the header
+// window, which is sound because its effects — egress serialisation —
+// are themselves modelled with backdatable start times).
+func (s *Switch) receive(p *Port, f *wire.Frame, firstBit, lastBit sim.Time) {
+	// Earliest instant the lookup may begin, by forwarding mode.
+	start := lastBit
+	if s.cfg.Mode == CutThrough {
+		window := sim.Duration(cutThroughWindow) * s.cfg.Rate.ByteTime()
+		d := firstBit.Add(window)
+		if d > lastBit {
+			d = lastBit // tiny frames: header window is the whole frame
+		}
+		start = d
+	}
+	if p.lookupPending >= s.cfg.LookupQueueCap {
+		s.lookupDrops++
+		return
+	}
+	f.SrcPort = p.index
+
+	// Per-ingress single-server lookup queue, tracked arithmetically so a
+	// cut-through lookup can begin "in the past" relative to this event.
+	if start < p.lookupFreeAt {
+		start = p.lookupFreeAt
+	}
+	service := s.cfg.LookupPerPacket + sim.Duration(f.Size)*s.cfg.LookupPerByte
+	if j := s.cfg.LookupJitter; j > 0 {
+		service = sim.Duration(float64(service) * (1 + j*(2*s.rand.Float64()-1)))
+	}
+	done := start.Add(service)
+	p.lookupFreeAt = done
+	p.lookupPending++
+	ready := done.Add(s.cfg.PipelineLatency)
+
+	eventAt := ready
+	if now := s.Engine.Now(); eventAt < now {
+		eventAt = now
+	}
+	s.Engine.Schedule(eventAt, func() {
+		p.lookupPending--
+		s.decide(pendingLookup{f: f, inPort: p.index, readyAt: ready})
+	})
+}
+
+// decide learns the source, looks up the destination, and hands the frame
+// to the egress port(s).
+func (s *Switch) decide(p pendingLookup) {
+	var eth packet.Ethernet
+	if err := eth.DecodeFromBytes(p.f.Data); err != nil {
+		return // runt frame: dropped silently, as hardware would
+	}
+	if !eth.Src.IsMulticast() {
+		s.fdb[eth.Src] = p.inPort
+	}
+	earliest := p.readyAt
+	if out, ok := s.fdb[eth.Dst]; ok && !eth.Dst.IsMulticast() {
+		if out != p.inPort {
+			s.ports[out].enqueue(p.f, earliest)
+		}
+		return
+	}
+	// Unknown unicast, multicast or broadcast: flood to every connected
+	// port except the ingress (link-less ports are down).
+	s.floods++
+	for i, port := range s.ports {
+		if i == p.inPort || port.link == nil {
+			continue
+		}
+		port.enqueue(p.f.Clone(), earliest)
+	}
+}
+
+// Port is one switch interface.
+type Port struct {
+	sw    *Switch
+	index int
+
+	link   *wire.Link
+	queue  []queued
+	busy   bool
+	drops  uint64
+	egress stats.Counter
+
+	// Ingress lookup pipeline state.
+	lookupFreeAt  sim.Time
+	lookupPending int
+}
+
+type queued struct {
+	f        *wire.Frame
+	earliest sim.Time
+}
+
+// Index returns the port number.
+func (p *Port) Index() int { return p.index }
+
+// SetLink attaches the egress link.
+func (p *Port) SetLink(l *wire.Link) { p.link = l }
+
+// Receive implements wire.Endpoint.
+func (p *Port) Receive(f *wire.Frame, firstBit, lastBit sim.Time) {
+	p.sw.receive(p, f, firstBit, lastBit)
+}
+
+// Drops returns frames lost to egress queue overflow.
+func (p *Port) Drops() uint64 { return p.drops }
+
+// Egress returns counters over frames transmitted out of this port.
+func (p *Port) Egress() stats.Counter { return p.egress }
+
+// QueueDepth returns the instantaneous egress queue occupancy.
+func (p *Port) QueueDepth() int { return len(p.queue) }
+
+func (p *Port) enqueue(f *wire.Frame, earliest sim.Time) {
+	if p.link == nil {
+		panic(fmt.Sprintf("switchsim: egress port %d has no link", p.index))
+	}
+	if len(p.queue) >= p.sw.cfg.EgressQueueCap {
+		p.drops++
+		return
+	}
+	p.queue = append(p.queue, queued{f: f, earliest: earliest})
+	p.trySend()
+}
+
+func (p *Port) trySend() {
+	if p.busy || len(p.queue) == 0 {
+		return
+	}
+	q := p.queue[0]
+	copy(p.queue, p.queue[1:])
+	p.queue[len(p.queue)-1] = queued{}
+	p.queue = p.queue[:len(p.queue)-1]
+
+	p.busy = true
+	end := p.link.TransmitAt(q.f, q.earliest)
+	p.egress.Add(wire.WireBytes(q.f.Size))
+	p.sw.forwarded.Add(wire.WireBytes(q.f.Size))
+	eventAt := end
+	if now := p.sw.Engine.Now(); eventAt < now {
+		eventAt = now
+	}
+	p.sw.Engine.Schedule(eventAt, func() {
+		p.busy = false
+		p.trySend()
+	})
+}

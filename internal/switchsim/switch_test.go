@@ -1,0 +1,330 @@
+package switchsim
+
+import (
+	"testing"
+
+	"osnt/internal/gen"
+	"osnt/internal/netfpga"
+	"osnt/internal/packet"
+	"osnt/internal/sim"
+	"osnt/internal/timing"
+	"osnt/internal/wire"
+)
+
+var (
+	macA = packet.MAC{2, 0, 0, 0, 0, 0xa}
+	macB = packet.MAC{2, 0, 0, 0, 0, 0xb}
+	macC = packet.MAC{2, 0, 0, 0, 0, 0xc}
+)
+
+func udpFrame(src, dst packet.MAC, size int) *wire.Frame {
+	return wire.NewFrame(packet.UDPSpec{
+		SrcMAC: src, DstMAC: dst,
+		SrcIP: packet.IP4{10, 0, 0, 1}, DstIP: packet.IP4{10, 0, 0, 2},
+		SrcPort: 1000, DstPort: 2000, FrameSize: size,
+	}.Build())
+}
+
+// topo: three hosts (cards) on switch ports 0,1,2.
+type topo struct {
+	e     *sim.Engine
+	sw    *Switch
+	hosts []*netfpga.Card
+	rx    [][]sim.Time // arrival times per host
+}
+
+func newTopo(t *testing.T, cfg Config, hosts int) *topo {
+	t.Helper()
+	tp := &topo{e: sim.NewEngine()}
+	tp.sw = New(tp.e, cfg)
+	tp.rx = make([][]sim.Time, hosts)
+	for i := 0; i < hosts; i++ {
+		i := i
+		card := netfpga.New(tp.e, netfpga.Config{Ports: 1})
+		toSwitch, toHost := wire.Connect(tp.e, wire.Rate10G, 0, card.Port(0), tp.sw.Port(i))
+		card.Port(0).SetLink(toSwitch)
+		tp.sw.Port(i).SetLink(toHost)
+		card.Port(0).OnReceive = func(f *wire.Frame, at sim.Time, _ timing.Timestamp) {
+			tp.rx[i] = append(tp.rx[i], at)
+		}
+		tp.hosts = append(tp.hosts, card)
+	}
+	return tp
+}
+
+func (tp *topo) send(host int, f *wire.Frame) { tp.hosts[host].Port(0).Enqueue(f) }
+
+func TestFloodThenLearn(t *testing.T) {
+	tp := newTopo(t, Config{}, 3)
+	// A → B: B unknown, flood to ports 1 and 2.
+	tp.send(0, udpFrame(macA, macB, 64))
+	tp.e.Run()
+	if len(tp.rx[1]) != 1 || len(tp.rx[2]) != 1 {
+		t.Fatalf("flood delivery %d/%d", len(tp.rx[1]), len(tp.rx[2]))
+	}
+	if tp.sw.Floods() != 1 {
+		t.Fatalf("floods = %d", tp.sw.Floods())
+	}
+	// B → A: A learned on port 0, unicast only.
+	tp.send(1, udpFrame(macB, macA, 64))
+	tp.e.Run()
+	if len(tp.rx[0]) != 1 {
+		t.Fatal("unicast to A missing")
+	}
+	if len(tp.rx[2]) != 1 {
+		t.Fatalf("C received unicast: %d", len(tp.rx[2]))
+	}
+	// A → B again: B now learned.
+	tp.send(0, udpFrame(macA, macB, 64))
+	tp.e.Run()
+	if len(tp.rx[1]) != 2 || len(tp.rx[2]) != 1 {
+		t.Fatal("learned unicast flooded")
+	}
+	tbl := tp.sw.MACTable()
+	if tbl[macA] != 0 || tbl[macB] != 1 {
+		t.Fatalf("fdb %v", tbl)
+	}
+}
+
+func TestNoHairpin(t *testing.T) {
+	tp := newTopo(t, Config{}, 2)
+	// Teach the switch that both MACs live on port 0, then send A→B from
+	// port 0: the frame must not be sent back out port 0.
+	tp.send(0, udpFrame(macA, macC, 64))
+	tp.e.Run()
+	tp.send(0, udpFrame(macB, macC, 64))
+	tp.e.Run()
+	before := len(tp.rx[0])
+	tp.send(0, udpFrame(macA, macB, 64))
+	tp.e.Run()
+	if len(tp.rx[0]) != before {
+		t.Fatal("hairpin forwarding")
+	}
+}
+
+func TestBroadcastFloods(t *testing.T) {
+	tp := newTopo(t, Config{}, 3)
+	bc := packet.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	tp.send(0, udpFrame(macA, bc, 64))
+	tp.e.Run()
+	if len(tp.rx[1]) != 1 || len(tp.rx[2]) != 1 || len(tp.rx[0]) != 0 {
+		t.Fatal("broadcast delivery wrong")
+	}
+}
+
+func TestStoreAndForwardLatency(t *testing.T) {
+	// Single 1518B frame at idle: latency from first bit at switch to
+	// last bit at receiver = frame serialisation (store) + lookup +
+	// egress serialisation.
+	cfg := Config{Mode: StoreAndForward}
+	cfg.fill()
+	tp := newTopo(t, cfg, 2)
+	tp.send(0, udpFrame(macA, macB, 1518))
+	tp.e.Run()
+	tp.rx[1] = nil
+	// Second frame unicasts (learned? B never spoke: still flood). Teach B:
+	tp.send(1, udpFrame(macB, macA, 64))
+	tp.e.Run()
+	tp.rx[1] = nil
+
+	start := tp.e.Now()
+	tp.send(0, udpFrame(macA, macB, 1518))
+	tp.e.Run()
+	if len(tp.rx[1]) != 1 {
+		t.Fatal("frame not delivered")
+	}
+	ser := wire.SerializationTime(1518, wire.Rate10G)
+	lookup := cfg.LookupPerPacket + 1518*sim.Duration(cfg.LookupPerByte) + cfg.PipelineLatency
+	want := start.Add(ser).Add(lookup).Add(ser) // ingress store + lookup + egress
+	got := tp.rx[1][0]
+	if got != want {
+		t.Fatalf("SF delivery at %v, want %v", got, want)
+	}
+}
+
+func TestCutThroughBeatsStoreAndForward(t *testing.T) {
+	run := func(mode ForwardingMode) sim.Duration {
+		cfg := Config{Mode: mode}
+		tp := newTopo(t, cfg, 2)
+		// learn both directions
+		tp.send(0, udpFrame(macA, macB, 64))
+		tp.e.Run()
+		tp.send(1, udpFrame(macB, macA, 64))
+		tp.e.Run()
+		tp.rx[1] = nil
+		start := tp.e.Now()
+		tp.send(0, udpFrame(macA, macB, 1518))
+		tp.e.Run()
+		return tp.rx[1][0].Sub(start)
+	}
+	sf := run(StoreAndForward)
+	ct := run(CutThrough)
+	if ct >= sf {
+		t.Fatalf("cut-through %v not faster than store-and-forward %v", ct, sf)
+	}
+	// The gap is the full store time (serialisation slot including
+	// preamble and IFG) minus the 64B cut-through window.
+	wantGap := wire.SerializationTime(1518, wire.Rate10G) - 64*wire.Rate10G.ByteTime()
+	gap := sf - ct
+	if gap != wantGap {
+		t.Fatalf("CT advantage %v, want %v", gap, wantGap)
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	// Poisson traffic port0→port1 at 30% vs 95% of line rate: mean
+	// latency must grow substantially (M/D/1 queueing at the lookup).
+	meanLatency := func(load float64) float64 {
+		e := sim.NewEngine()
+		// Capacity slightly below line rate plus jittered service: the
+		// configuration E3 uses to reproduce the latency-vs-load curve.
+		sw := New(e, Config{LookupPerByte: sim.Picoseconds(820), LookupJitter: 0.5, Seed: 7})
+		cardA := netfpga.New(e, netfpga.Config{Ports: 1})
+		cardB := netfpga.New(e, netfpga.Config{Ports: 1})
+		aOut, aIn := wire.Connect(e, wire.Rate10G, 0, cardA.Port(0), sw.Port(0))
+		cardA.Port(0).SetLink(aOut)
+		sw.Port(0).SetLink(aIn)
+		bOut, bIn := wire.Connect(e, wire.Rate10G, 0, cardB.Port(0), sw.Port(1))
+		cardB.Port(0).SetLink(bOut)
+		sw.Port(1).SetLink(bIn)
+
+		// Pre-teach the FDB.
+		cardB.Port(0).Enqueue(udpFrame(macB, macA, 64))
+		e.Run()
+
+		var sum float64
+		var n int
+		cardB.Port(0).OnReceive = func(f *wire.Frame, at sim.Time, _ timing.Timestamp) {
+			if ts, ok := gen.ExtractTimestamp(f.Data, gen.DefaultTimestampOffset); ok {
+				sum += float64(at.Sub(ts.Sim()))
+				n++
+			}
+		}
+		slot := wire.SerializationTime(512, wire.Rate10G)
+		g, err := gen.New(cardA.Port(0), gen.Config{
+			Source:         &gen.UDPFlowSource{Spec: packet.UDPSpec{SrcMAC: macA, DstMAC: macB, SrcIP: packet.IP4{10, 0, 0, 1}, DstIP: packet.IP4{10, 0, 0, 2}, SrcPort: 1, DstPort: 2}, FrameSize: 512},
+			Spacing:        gen.Poisson{Mean: sim.Duration(float64(slot) / load)},
+			EmbedTimestamp: true,
+			Seed:           99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start(e.Now())
+		e.RunUntil(e.Now() + 20*sim.Time(sim.Millisecond))
+		g.Stop()
+		if n < 100 {
+			t.Fatalf("too few samples at load %v: %d", load, n)
+		}
+		return sum / float64(n)
+	}
+	low := meanLatency(0.3)
+	high := meanLatency(0.95)
+	if high < low*1.5 {
+		t.Fatalf("latency at 95%% load (%v ps) not ≫ 30%% load (%v ps)", high, low)
+	}
+}
+
+func TestEgressContentionQueues(t *testing.T) {
+	// Two senders at 70% each into one receiver: egress is oversubscribed,
+	// the queue must build and eventually drop.
+	e := sim.NewEngine()
+	sw := New(e, Config{EgressQueueCap: 32})
+	var cards []*netfpga.Card
+	for i := 0; i < 3; i++ {
+		card := netfpga.New(e, netfpga.Config{Ports: 1})
+		out, in := wire.Connect(e, wire.Rate10G, 0, card.Port(0), sw.Port(i))
+		card.Port(0).SetLink(out)
+		sw.Port(i).SetLink(in)
+		cards = append(cards, card)
+	}
+	// Teach the receiver's MAC.
+	cards[2].Port(0).Enqueue(udpFrame(macC, macA, 64))
+	e.Run()
+
+	mk := func(i int, srcMAC packet.MAC) *gen.Generator {
+		g, err := gen.New(cards[i].Port(0), gen.Config{
+			Source: &gen.UDPFlowSource{Spec: packet.UDPSpec{
+				SrcMAC: srcMAC, DstMAC: macC,
+				SrcIP: packet.IP4{10, 0, 0, byte(i)}, DstIP: packet.IP4{10, 0, 0, 9},
+				SrcPort: 1, DstPort: 2}, FrameSize: 512},
+			Spacing: gen.CBRForLoad(512, wire.Rate10G, 0.7),
+			Seed:    uint64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g0, g1 := mk(0, macA), mk(1, macB)
+	g0.Start(e.Now())
+	g1.Start(e.Now())
+	e.RunUntil(e.Now() + 5*sim.Time(sim.Millisecond))
+	g0.Stop()
+	g1.Stop()
+	if sw.Port(2).Drops() == 0 {
+		t.Fatal("oversubscribed egress did not drop")
+	}
+	if sw.Port(2).Egress().Packets == 0 {
+		t.Fatal("nothing forwarded")
+	}
+}
+
+func TestLookupQueueOverflow(t *testing.T) {
+	e := sim.NewEngine()
+	sw := New(e, Config{LookupQueueCap: 4, LookupPerPacket: 100 * sim.Microsecond})
+	card := netfpga.New(e, netfpga.Config{Ports: 1})
+	out, in := wire.Connect(e, wire.Rate10G, 0, card.Port(0), sw.Port(0))
+	card.Port(0).SetLink(out)
+	sw.Port(0).SetLink(in)
+	sw.Port(1).SetLink(wire.NewLink(e, wire.Rate10G, 0, nil))
+	for i := 0; i < 20; i++ {
+		card.Port(0).Enqueue(udpFrame(macA, macB, 64))
+	}
+	e.RunUntil(sim.Time(sim.Millisecond))
+	if sw.LookupDrops() == 0 {
+		t.Fatal("slow lookup pipeline did not overflow")
+	}
+}
+
+func TestRuntFrameDropped(t *testing.T) {
+	e := sim.NewEngine()
+	sw := New(e, Config{})
+	sw.Port(1).SetLink(wire.NewLink(e, wire.Rate10G, 0, nil))
+	got := 0
+	sw.Port(0).SetLink(wire.NewLink(e, wire.Rate10G, 0, nil))
+	l := wire.NewLink(e, wire.Rate10G, 0, sw.Port(0))
+	l.Transmit(&wire.Frame{Data: make([]byte, 8), Size: 12})
+	e.Run()
+	if got != 0 || sw.Forwarded().Packets != 0 {
+		t.Fatal("runt frame forwarded")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if StoreAndForward.String() != "store-and-forward" || CutThrough.String() != "cut-through" {
+		t.Fatal("mode strings")
+	}
+}
+
+func BenchmarkSwitchForwarding(b *testing.B) {
+	e := sim.NewEngine()
+	sw := New(e, Config{})
+	cardA := netfpga.New(e, netfpga.Config{Ports: 1, TxQueueCap: 1 << 20})
+	cardB := netfpga.New(e, netfpga.Config{Ports: 1})
+	aOut, aIn := wire.Connect(e, wire.Rate10G, 0, cardA.Port(0), sw.Port(0))
+	cardA.Port(0).SetLink(aOut)
+	sw.Port(0).SetLink(aIn)
+	bOut, bIn := wire.Connect(e, wire.Rate10G, 0, cardB.Port(0), sw.Port(1))
+	cardB.Port(0).SetLink(bOut)
+	sw.Port(1).SetLink(bIn)
+	cardB.Port(0).Enqueue(udpFrame(macB, macA, 64))
+	e.Run()
+	f := udpFrame(macA, macB, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cardA.Port(0).Enqueue(f.Clone())
+		for e.Step() {
+		}
+	}
+}

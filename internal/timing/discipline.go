@@ -1,0 +1,157 @@
+package timing
+
+import (
+	"osnt/internal/sim"
+)
+
+// Clock is the timestamp source a card's stamping units read. Now must be
+// called with non-decreasing instants (hardware cannot observe the past).
+type Clock interface {
+	// Now returns the hardware timestamp the clock would latch for an
+	// event occurring at true instant t.
+	Now(t sim.Time) Timestamp
+}
+
+// PerfectClock returns ground-truth timestamps quantised to the hardware
+// grid. It models an ideal, drift-free oscillator and is used as the
+// reference when measuring clock error.
+type PerfectClock struct{}
+
+// Now implements Clock.
+func (PerfectClock) Now(t sim.Time) Timestamp { return Quantize(t) }
+
+// FreeClock reads an undisciplined oscillator: device time drifts away
+// from true time without bound. This is the "no GPS" configuration of
+// experiment E2.
+type FreeClock struct {
+	Osc *Oscillator
+}
+
+// Now implements Clock.
+func (c *FreeClock) Now(t sim.Time) Timestamp {
+	return Quantize(c.Osc.DeviceTimeAt(t))
+}
+
+// Discipline steers an oscillator using a 1-pulse-per-second GPS
+// reference, reproducing OSNT's "clock drift and phase coordination
+// maintained by a GPS input". At every PPS edge it measures the phase
+// error against true time and applies a proportional-integral frequency
+// correction plus a phase slew, the same structure as an NTP/PTP servo.
+type Discipline struct {
+	Osc *Oscillator
+
+	// Kp and Ki are the proportional and integral servo gains applied to
+	// the measured offset (in ppm per second-of-offset-per-second). The
+	// defaults from NewDiscipline converge in a few tens of PPS edges.
+	Kp, Ki float64
+	// MaxSlewPPM caps the magnitude of a single frequency correction, as
+	// real servos do to ride through a GPS glitch.
+	MaxSlewPPM float64
+	// StepThreshold: offsets larger than this are corrected by stepping
+	// the phase outright rather than slewing (cold-start behaviour).
+	StepThreshold sim.Duration
+
+	integral float64 // integral of offset, in ppm
+	locked   bool
+	edges    int
+
+	// history of |offset| observed at each PPS edge, for reporting.
+	offsets []sim.Duration
+}
+
+// NewDiscipline returns a servo with gains suitable for the simulated
+// oscillator parameters (converges within ~30 PPS edges for ±50 ppm
+// initial error).
+func NewDiscipline(osc *Oscillator) *Discipline {
+	return &Discipline{
+		Osc:           osc,
+		Kp:            0.7e6,  // 0.7 ppm per µs of offset
+		Ki:            0.15e6, // 0.15 ppm·s⁻¹ per µs of offset
+		MaxSlewPPM:    100,
+		StepThreshold: 10 * sim.Millisecond,
+	}
+}
+
+// Start begins disciplining: the servo observes a PPS edge at every whole
+// true second on the engine, beginning at the next one.
+func (d *Discipline) Start(e *sim.Engine) {
+	next := e.Now() - e.Now()%sim.Time(sim.Second) + sim.Time(sim.Second)
+	e.Every(next, sim.Second, func() { d.onPPS(e.Now()) })
+}
+
+// onPPS handles one GPS pulse at true instant t (a whole second).
+func (d *Discipline) onPPS(t sim.Time) {
+	dev := d.Osc.DeviceTimeAt(t)
+	offset := dev.Sub(t) // positive: device clock runs fast
+	d.edges++
+	d.offsets = append(d.offsets, absDur(offset))
+
+	if absDur(offset) > d.StepThreshold {
+		// Cold start or gross error: step the phase, leave frequency to
+		// the servo on subsequent edges.
+		d.Osc.AdjustPhase(-offset)
+		d.locked = false
+		d.integral = 0
+		return
+	}
+
+	offSec := offset.Seconds() // seconds of phase error per 1 s of PPS interval
+	d.integral += offSec
+	corr := d.Kp*offSec + d.Ki*d.integral // ppm
+	if corr > d.MaxSlewPPM {
+		corr = d.MaxSlewPPM
+	} else if corr < -d.MaxSlewPPM {
+		corr = -d.MaxSlewPPM
+	}
+	d.Osc.AdjustFreqPPM(-corr)
+	// Slew out the residual phase error immediately; the quantity is small
+	// (sub-µs once near lock) so this models a fine phase adjustment.
+	d.Osc.AdjustPhase(-offset)
+	if absDur(offset) < 1*sim.Microsecond {
+		d.locked = true
+	}
+}
+
+// Locked reports whether the most recent PPS offset was below 1 µs.
+func (d *Discipline) Locked() bool { return d.locked }
+
+// Edges returns the number of PPS edges processed.
+func (d *Discipline) Edges() int { return d.edges }
+
+// Offsets returns the absolute phase error observed at each PPS edge, in
+// arrival order.
+func (d *Discipline) Offsets() []sim.Duration { return d.offsets }
+
+// MaxOffsetAfter returns the worst absolute PPS offset observed after the
+// first skip edges — the steady-state error bound once lock is reached.
+func (d *Discipline) MaxOffsetAfter(skip int) sim.Duration {
+	var max sim.Duration
+	for i, o := range d.offsets {
+		if i < skip {
+			continue
+		}
+		if o > max {
+			max = o
+		}
+	}
+	return max
+}
+
+func absDur(d sim.Duration) sim.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// DisciplinedClock reads an oscillator that is being steered by a
+// Discipline servo. This is the GPS-corrected configuration the paper
+// describes.
+type DisciplinedClock struct {
+	Osc *Oscillator
+}
+
+// Now implements Clock.
+func (c *DisciplinedClock) Now(t sim.Time) Timestamp {
+	return Quantize(c.Osc.DeviceTimeAt(t))
+}

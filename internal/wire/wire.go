@@ -1,0 +1,204 @@
+// Package wire defines the physical-layer vocabulary shared by every
+// simulated device: Ethernet frames, port endpoints, and point-to-point
+// links with serialization and propagation delay. The arithmetic here is
+// what makes "full line-rate regardless of packet size" a checkable
+// property rather than a claim: a 10GBASE-R MAC can emit one 64-byte frame
+// every 67.2 ns and no simulated component is allowed to beat that.
+package wire
+
+import (
+	"fmt"
+
+	"osnt/internal/sim"
+)
+
+// Ethernet framing constants. Frame data in this codebase excludes the
+// 4-byte FCS; the conventional "frame size" used in benchmarks (64–1518 B)
+// includes it, so WireLen adds FCS plus preamble, SFD and the minimum
+// inter-frame gap.
+const (
+	PreambleSFD = 8  // preamble (7 B) + start frame delimiter (1 B)
+	FCSLen      = 4  // frame check sequence
+	IFG         = 12 // minimum inter-frame gap in byte times
+
+	// PerFrameOverhead is the extra byte times consumed on the wire by
+	// each frame beyond its FCS-inclusive size.
+	PerFrameOverhead = PreambleSFD + IFG
+
+	// MinFrame and MaxFrame bound the FCS-inclusive Ethernet frame size
+	// (untagged).
+	MinFrame = 64
+	MaxFrame = 1518
+)
+
+// Rate is a link speed in bits per second.
+type Rate int64
+
+// Standard rates.
+const (
+	Rate1G  Rate = 1_000_000_000
+	Rate10G Rate = 10_000_000_000
+	Rate40G Rate = 40_000_000_000
+)
+
+// ByteTime returns the time to serialise one byte at rate r.
+func (r Rate) ByteTime() sim.Duration {
+	return sim.Duration(8 * picosPerSecond / int64(r))
+}
+
+const picosPerSecond = 1_000_000_000_000
+
+// String formats the rate in Gb/s or Mb/s.
+func (r Rate) String() string {
+	if r >= 1_000_000_000 {
+		return fmt.Sprintf("%gGb/s", float64(r)/1e9)
+	}
+	return fmt.Sprintf("%gMb/s", float64(r)/1e6)
+}
+
+// FrameSize returns the FCS-inclusive size of a frame whose payload bytes
+// (header through payload, no FCS) are data.
+func FrameSize(data []byte) int { return len(data) + FCSLen }
+
+// WireBytes returns the total byte times one frame of FCS-inclusive size
+// occupies on the wire, including preamble/SFD and IFG.
+func WireBytes(frameSize int) int { return frameSize + PerFrameOverhead }
+
+// SerializationTime returns how long a frame of FCS-inclusive size
+// frameSize occupies a link at rate r, including preamble and IFG. For
+// 64-byte frames at 10 Gb/s this is exactly 67.2 ns, the 14.88 Mpps
+// line-rate figure.
+func SerializationTime(frameSize int, r Rate) sim.Duration {
+	return sim.Duration(WireBytes(frameSize)) * r.ByteTime()
+}
+
+// MaxPPS returns the theoretical maximum packets per second at rate r for
+// the given FCS-inclusive frame size.
+func MaxPPS(frameSize int, r Rate) float64 {
+	return float64(r) / (8 * float64(WireBytes(frameSize)))
+}
+
+// Frame is one Ethernet frame in flight. Data excludes the FCS. The Size
+// field is the FCS-inclusive frame size, which can exceed len(Data)+4 when
+// a monitor has thinned (truncated) the captured bytes but must still
+// account for the original wire occupancy.
+type Frame struct {
+	Data []byte
+	Size int // FCS-inclusive original frame size
+	// SrcPort is an opaque tag devices may use to remember ingress.
+	SrcPort int
+}
+
+// NewFrame wraps data (header..payload, no FCS) as a full-length frame.
+func NewFrame(data []byte) *Frame {
+	return &Frame{Data: data, Size: FrameSize(data)}
+}
+
+// Clone returns a deep copy of the frame. Devices that queue frames and
+// devices that modify them must not alias each other's buffers.
+func (f *Frame) Clone() *Frame {
+	d := make([]byte, len(f.Data))
+	copy(d, f.Data)
+	return &Frame{Data: d, Size: f.Size, SrcPort: f.SrcPort}
+}
+
+// Endpoint is anything that can accept a frame from a link: a card's RX
+// MAC, a switch port, a host NIC.
+type Endpoint interface {
+	// Receive delivers a frame whose last bit arrived at instant at.
+	// start is the instant the first bit arrived, which cut-through
+	// devices use to begin forwarding before at.
+	Receive(f *Frame, start, at sim.Time)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(f *Frame, start, at sim.Time)
+
+// Receive implements Endpoint.
+func (fn EndpointFunc) Receive(f *Frame, start, at sim.Time) { fn(f, start, at) }
+
+// Link is a unidirectional point-to-point fibre at a fixed rate with a
+// propagation delay. Transmit models the sending MAC: it serialises the
+// frame (busying the link) and schedules delivery at the far end. Frames
+// submitted while the link is busy depart back-to-back, exactly like a MAC
+// with a queue, so offered load beyond line rate is clipped to line rate.
+type Link struct {
+	Engine *sim.Engine
+	Rate   Rate
+	Delay  sim.Duration // propagation delay
+	Peer   Endpoint
+
+	busyUntil sim.Time
+	txFrames  uint64
+	txBytes   uint64 // wire bytes including overhead
+}
+
+// NewLink builds a link on engine e at rate r with propagation delay d,
+// delivering into peer.
+func NewLink(e *sim.Engine, r Rate, d sim.Duration, peer Endpoint) *Link {
+	return &Link{Engine: e, Rate: r, Delay: d, Peer: peer}
+}
+
+// Transmit queues the frame for serialisation at the earliest instant the
+// link is free and returns the time the last bit leaves the sender. The
+// frame is delivered to the peer (if any) after the propagation delay.
+func (l *Link) Transmit(f *Frame) sim.Time {
+	return l.TransmitAt(f, l.Engine.Now())
+}
+
+// TransmitAt is Transmit with an explicit earliest start instant, which
+// may lie in the past relative to the engine clock. Cut-through devices
+// use this to model serialisation that conceptually began while the frame
+// was still arriving: the returned last-bit time is exact, and the
+// delivery event is clamped to the present so causality in the event
+// queue is preserved.
+func (l *Link) TransmitAt(f *Frame, earliest sim.Time) sim.Time {
+	start := earliest
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	end := start.Add(SerializationTime(f.Size, l.Rate))
+	l.busyUntil = end
+	l.txFrames++
+	l.txBytes += uint64(WireBytes(f.Size))
+	if l.Peer != nil {
+		firstBit := start.Add(l.Delay)
+		lastBit := end.Add(l.Delay)
+		eventAt := lastBit
+		if now := l.Engine.Now(); eventAt < now {
+			eventAt = now
+		}
+		l.Engine.Schedule(eventAt, func() {
+			l.Peer.Receive(f, firstBit, lastBit)
+		})
+	}
+	return end
+}
+
+// Busy reports whether the link is still serialising at instant t.
+func (l *Link) Busy(t sim.Time) bool { return l.busyUntil > t }
+
+// BusyUntil returns the instant the current transmission completes.
+func (l *Link) BusyUntil() sim.Time { return l.busyUntil }
+
+// TxFrames returns the number of frames transmitted.
+func (l *Link) TxFrames() uint64 { return l.txFrames }
+
+// TxWireBytes returns the cumulative wire occupancy in byte times.
+func (l *Link) TxWireBytes() uint64 { return l.txBytes }
+
+// Utilisation returns the fraction of the interval [0, t] the link spent
+// serialising.
+func (l *Link) Utilisation(t sim.Time) float64 {
+	if t <= 0 {
+		return 0
+	}
+	used := sim.Duration(l.txBytes) * l.Rate.ByteTime()
+	return float64(used) / float64(t.Sub(0))
+}
+
+// Connect builds the two unidirectional links of a full-duplex cable
+// between endpoints a and b, returning the a→b and b→a links.
+func Connect(e *sim.Engine, r Rate, delay sim.Duration, a, b Endpoint) (ab, ba *Link) {
+	return NewLink(e, r, delay, b), NewLink(e, r, delay, a)
+}

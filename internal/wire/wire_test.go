@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"osnt/internal/sim"
+)
+
+func TestByteTime(t *testing.T) {
+	if got := Rate10G.ByteTime(); got != 800 {
+		t.Fatalf("10G byte time = %dps, want 800", got)
+	}
+	if got := Rate1G.ByteTime(); got != 8000 {
+		t.Fatalf("1G byte time = %dps, want 8000", got)
+	}
+}
+
+func TestSerializationTime64B(t *testing.T) {
+	// The canonical figure: 64B frame + 20B overhead = 84B = 67.2ns at 10G.
+	got := SerializationTime(64, Rate10G)
+	if got != 67200 {
+		t.Fatalf("64B@10G = %v ps, want 67200", int64(got))
+	}
+	// 1518B: 1538 * 0.8ns = 1230.4ns.
+	if got := SerializationTime(1518, Rate10G); got != 1230400 {
+		t.Fatalf("1518B@10G = %v ps, want 1230400", int64(got))
+	}
+}
+
+func TestMaxPPS(t *testing.T) {
+	// 14.88 Mpps for 64B at 10G.
+	got := MaxPPS(64, Rate10G)
+	if got < 14_880_000 || got > 14_881_000 {
+		t.Fatalf("MaxPPS(64,10G) = %v, want ≈14.88M", got)
+	}
+	// 812743 pps for 1518B at 10G.
+	got = MaxPPS(1518, Rate10G)
+	if got < 812_000 || got > 813_500 {
+		t.Fatalf("MaxPPS(1518,10G) = %v, want ≈812.7k", got)
+	}
+}
+
+func TestFrameSizeAndClone(t *testing.T) {
+	data := make([]byte, 60)
+	f := NewFrame(data)
+	if f.Size != 64 {
+		t.Fatalf("FCS-inclusive size = %d, want 64", f.Size)
+	}
+	g := f.Clone()
+	g.Data[0] = 0xff
+	if f.Data[0] == 0xff {
+		t.Fatal("Clone aliases original buffer")
+	}
+	if g.Size != f.Size || g.SrcPort != f.SrcPort {
+		t.Fatal("Clone lost metadata")
+	}
+}
+
+func TestLinkDelivery(t *testing.T) {
+	e := sim.NewEngine()
+	var gotStart, gotEnd sim.Time
+	var gotLen int
+	sink := EndpointFunc(func(f *Frame, start, at sim.Time) {
+		gotStart, gotEnd, gotLen = start, at, f.Size
+	})
+	l := NewLink(e, Rate10G, 5*sim.Nanosecond, sink)
+	f := NewFrame(make([]byte, 60)) // 64B frame
+	txEnd := l.Transmit(f)
+	e.Run()
+	if txEnd != sim.Time(67200) {
+		t.Fatalf("tx end = %v, want 67.2ns", txEnd)
+	}
+	if gotLen != 64 {
+		t.Fatalf("delivered size = %d", gotLen)
+	}
+	if gotStart != sim.Time(5000) {
+		t.Fatalf("first bit arrived at %v, want 5ns", gotStart)
+	}
+	if gotEnd != sim.Time(67200+5000) {
+		t.Fatalf("last bit arrived at %v, want 72.2ns", gotEnd)
+	}
+}
+
+func TestLinkBackToBack(t *testing.T) {
+	e := sim.NewEngine()
+	var arrivals []sim.Time
+	sink := EndpointFunc(func(f *Frame, _, at sim.Time) { arrivals = append(arrivals, at) })
+	l := NewLink(e, Rate10G, 0, sink)
+	// Submit 3 frames at t=0; they must serialise back-to-back.
+	for i := 0; i < 3; i++ {
+		l.Transmit(NewFrame(make([]byte, 60)))
+	}
+	e.Run()
+	want := []sim.Time{67200, 134400, 201600}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Fatalf("arrival %d = %v, want %v", i, arrivals[i], want[i])
+		}
+	}
+	if l.TxFrames() != 3 {
+		t.Fatalf("TxFrames = %d", l.TxFrames())
+	}
+	if l.TxWireBytes() != 3*84 {
+		t.Fatalf("TxWireBytes = %d, want 252", l.TxWireBytes())
+	}
+}
+
+func TestLinkNeverExceedsLineRate(t *testing.T) {
+	// Offer 2x line rate for 10000 frames; delivered spacing must never be
+	// tighter than the serialisation time.
+	e := sim.NewEngine()
+	var last sim.Time
+	var minGap sim.Duration = 1 << 62
+	n := 0
+	sink := EndpointFunc(func(f *Frame, _, at sim.Time) {
+		if n > 0 {
+			if gap := at.Sub(last); gap < minGap {
+				minGap = gap
+			}
+		}
+		last = at
+		n++
+	})
+	l := NewLink(e, Rate10G, 0, sink)
+	slot := SerializationTime(64, Rate10G)
+	for i := 0; i < 10000; i++ {
+		at := sim.Time(i) * sim.Time(slot/2) // 2x offered load
+		e.Schedule(at, func() { l.Transmit(NewFrame(make([]byte, 60))) })
+	}
+	e.Run()
+	if n != 10000 {
+		t.Fatalf("delivered %d frames", n)
+	}
+	if minGap < slot {
+		t.Fatalf("frames spaced %v apart, line rate slot is %v", minGap, slot)
+	}
+}
+
+func TestLinkUtilisation(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, Rate10G, 0, nil)
+	// 10 full-size frames: 10*1538*800ps of wire time.
+	for i := 0; i < 10; i++ {
+		l.Transmit(NewFrame(make([]byte, 1514)))
+	}
+	e.Run()
+	busy := l.BusyUntil()
+	u := l.Utilisation(busy)
+	if u < 0.999 || u > 1.001 {
+		t.Fatalf("utilisation during saturation = %v, want 1.0", u)
+	}
+	u = l.Utilisation(busy * 2)
+	if u < 0.499 || u > 0.501 {
+		t.Fatalf("utilisation at 2x window = %v, want 0.5", u)
+	}
+}
+
+// Property: for any frame size and any rate, serialisation time equals
+// wire bytes times byte time and MaxPPS is its reciprocal.
+func TestPropertyWireArithmetic(t *testing.T) {
+	f := func(sz uint16) bool {
+		size := int(sz%1455) + 64
+		st := SerializationTime(size, Rate10G)
+		if st != sim.Duration(size+20)*800 {
+			return false
+		}
+		pps := MaxPPS(size, Rate10G)
+		wantGap := 1e12 / pps // ps between frames at line rate
+		return wantGap > float64(st)*0.999 && wantGap < float64(st)*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if Rate10G.String() != "10Gb/s" {
+		t.Fatalf("got %q", Rate10G.String())
+	}
+	if Rate(100_000_000).String() != "100Mb/s" {
+		t.Fatalf("got %q", Rate(100_000_000).String())
+	}
+}
