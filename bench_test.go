@@ -1,10 +1,10 @@
 // Package osnt_test holds the repository-level benchmark harness: one
-// benchmark per experiment table/figure in DESIGN.md (E1–E8). Each
-// iteration regenerates the corresponding table from scratch, so
-// `go test -bench=. -benchmem` both exercises the full stack and reports
-// how much host CPU a complete experiment costs. The tables themselves
-// are printed by `go run ./cmd/osnt-bench` and recorded in
-// EXPERIMENTS.md.
+// benchmark per experiment table/figure in DESIGN.md (E1–E8, plus the E9
+// port-scaling sweep). Each iteration regenerates the corresponding
+// table from scratch, so `go test -bench=. -benchmem` both exercises the
+// full stack and reports how much host CPU a complete experiment costs.
+// The tables themselves are printed by `go run ./cmd/osnt-bench` and
+// recorded in EXPERIMENTS.md.
 package osnt_test
 
 import (
@@ -23,6 +23,7 @@ const (
 	benchE2Dur = 60 * sim.Second
 	benchE3Dur = 5 * sim.Millisecond
 	benchE7Dur = 5 * sim.Millisecond
+	benchE9Dur = sim.Millisecond
 )
 
 func BenchmarkE1LineRate(b *testing.B) {
@@ -95,6 +96,32 @@ func BenchmarkE8ControlUnderLoad(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if tbl := experiments.E8ControlUnderLoad(); len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkE9PortScaling(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E9PortScaling(benchE9Dur)
+		for _, row := range tbl.Rows {
+			if row[6] != "true" {
+				b.Fatalf("scaling missed line rate: %v", row)
+			}
+		}
+	}
+}
+
+// BenchmarkE9Serial is the 1-worker reference for the same sweep: the
+// ratio to BenchmarkE9PortScaling is the parallel runner's speedup.
+func BenchmarkE9Serial(b *testing.B) {
+	b.ReportAllocs()
+	old := experiments.Workers
+	experiments.Workers = 1
+	defer func() { experiments.Workers = old }()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.E9PortScaling(benchE9Dur); len(tbl.Rows) == 0 {
 			b.Fatal("no rows")
 		}
 	}

@@ -1,11 +1,14 @@
 // Command osnt-bench regenerates the paper's evaluation: every experiment
-// table from DESIGN.md (E1–E8) printed to stdout. Use -e to select a
-// single experiment.
+// table from DESIGN.md (E1–E8, plus the E9 multi-port scaling sweep)
+// printed to stdout. Use -e to select a single experiment and -workers to
+// bound sweep parallelism (tables are byte-identical at any worker
+// count).
 //
 // Usage:
 //
-//	osnt-bench             # run everything
+//	osnt-bench             # run everything, sweeps parallel
 //	osnt-bench -e e3       # Demo Part I only
+//	osnt-bench -workers 1  # serial reference run
 //	osnt-bench -list       # list experiment ids
 package main
 
@@ -32,12 +35,15 @@ var runners = []struct {
 	{"e6", "timestamp noise: hardware vs software", func() *stats.Table { return experiments.E6TimestampNoise(0) }},
 	{"e7", "loss-limited capture path", func() *stats.Table { return experiments.E7CapturePath(0) }},
 	{"e8", "control channel under dataplane load", experiments.E8ControlUnderLoad},
+	{"e9", "multi-port scaling: 1/2/4/8 gen→mon pairs at line rate", func() *stats.Table { return experiments.E9PortScaling(0) }},
 }
 
 func main() {
 	sel := flag.String("e", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	experiments.Workers = *workers
 
 	if *list {
 		for _, r := range runners {

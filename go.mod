@@ -1,0 +1,3 @@
+module osnt
+
+go 1.22

@@ -151,6 +151,9 @@ func (t *LatencyTest) Run() (*LatencyResult, error) {
 	res := &LatencyResult{Latency: stats.NewHistogram()}
 
 	mcfg := t.Monitor
+	// The sink only extracts the embedded timestamp, so record buffers
+	// can be recycled as soon as it returns.
+	mcfg.RecycleRecords = true
 	mcfg.Sink = func(rec mon.Record) {
 		ts, ok := gen.ExtractTimestamp(rec.Data, gen.DefaultTimestampOffset)
 		if !ok {
@@ -175,6 +178,7 @@ func (t *LatencyTest) Run() (*LatencyResult, error) {
 		Count:          t.Count,
 		EmbedTimestamp: true,
 		Seed:           t.Seed,
+		Pool:           wire.DefaultPool,
 	})
 	if err != nil {
 		return nil, err
@@ -250,6 +254,7 @@ func (t *ThroughputTest) Run() (*ThroughputResult, error) {
 		Source:  &gen.UDPFlowSource{Spec: spec, FrameSize: t.FrameSize},
 		Spacing: gen.CBRForLoad(t.FrameSize, t.Device.Card.Rate(), t.Load),
 		Seed:    t.Seed,
+		Pool:    wire.DefaultPool,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"osnt/internal/race"
+	"osnt/internal/sim"
+	"osnt/internal/stats"
+)
+
+// withWorkers runs fn with the package-level sweep parallelism pinned.
+func withWorkers(w int, fn func() *stats.Table) *stats.Table {
+	old := Workers
+	Workers = w
+	defer func() { Workers = old }()
+	return fn()
+}
+
+// The tentpole invariant: the same experiment must render byte-identical
+// tables at any worker count — parallelism is an orchestration detail,
+// never an input to the simulation. Run with -race to also certify the
+// runner's memory discipline.
+func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() *stats.Table
+	}{
+		{"E1", func() *stats.Table { return E1LineRate(sim.Millisecond) }},
+		{"E3", func() *stats.Table { return E3SwitchLatency(2 * sim.Millisecond) }},
+		{"E7", func() *stats.Table { return E7CapturePath(2 * sim.Millisecond) }},
+		{"E9", func() *stats.Table { return E9PortScaling(sim.Millisecond) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := withWorkers(1, tc.fn).String()
+			for _, w := range []int{2, 4, 16} {
+				if got := withWorkers(w, tc.fn).String(); got != serial {
+					t.Fatalf("workers=%d diverged from serial:\n--- serial ---\n%s--- workers=%d ---\n%s",
+						w, serial, w, got)
+				}
+			}
+		})
+	}
+}
+
+// Repeated serial runs must also be identical: the frame pool and event
+// reuse must not leak one run's state into the next.
+func TestE9RepeatableAcrossRuns(t *testing.T) {
+	a := withWorkers(1, func() *stats.Table { return E9PortScaling(sim.Millisecond) }).String()
+	b := withWorkers(1, func() *stats.Table { return E9PortScaling(sim.Millisecond) }).String()
+	if a != b {
+		t.Fatalf("consecutive serial runs diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// The runner must actually buy wall time on the E9 sweep. The sweep is
+// ordered heaviest-point-first, so with ≥4 workers the wall time should
+// approach the 8-pair point alone (~40% of the serial sum); assert a
+// conservative 0.7× so scheduler noise cannot flake CI, and log the real
+// ratio for the record.
+func TestE9ParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if race.Enabled {
+		t.Skip("race instrumentation distorts wall-clock ratios")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("needs ≥4 physical CPUs, have %d", runtime.NumCPU())
+	}
+	const dur = 4 * sim.Millisecond
+	// Warm the frame pool and page caches off the clock.
+	withWorkers(4, func() *stats.Table { return E9PortScaling(sim.Millisecond) })
+
+	t0 := time.Now()
+	serial := withWorkers(1, func() *stats.Table { return E9PortScaling(dur) })
+	serialWall := time.Since(t0)
+
+	t0 = time.Now()
+	parallel := withWorkers(4, func() *stats.Table { return E9PortScaling(dur) })
+	parallelWall := time.Since(t0)
+
+	if serial.String() != parallel.String() {
+		t.Fatal("speedup run diverged from serial")
+	}
+	ratio := float64(parallelWall) / float64(serialWall)
+	t.Logf("E9 wall: serial=%v 4-workers=%v ratio=%.2f", serialWall, parallelWall, ratio)
+	if ratio > 0.7 {
+		t.Errorf("4-worker E9 took %.2f× the serial wall time, want < 0.7×", ratio)
+	}
+}

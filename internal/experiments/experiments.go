@@ -1,9 +1,12 @@
 // Package experiments regenerates every quantitative claim of the paper
-// (DESIGN.md's per-experiment index, E1–E8). Each driver builds its
-// topology from scratch, runs the workload in virtual time and returns a
-// printable table whose shape can be compared against the paper; the
-// cmd/osnt-bench binary and the repository-level benchmarks are thin
-// wrappers around these functions.
+// (DESIGN.md's per-experiment index, E1–E8) plus the E9 multi-port
+// scaling sweep. Each driver builds its topology from scratch, runs the
+// workload in virtual time and returns a printable table whose shape can
+// be compared against the paper; the cmd/osnt-bench binary and the
+// repository-level benchmarks are thin wrappers around these functions.
+// Sweep points run on the internal/runner worker pool (see Workers) and
+// draw per-packet frames from a shared wire.Pool, so regenerating the
+// full evaluation costs neither serial wall time nor per-packet garbage.
 package experiments
 
 import (
@@ -17,6 +20,7 @@ import (
 	"osnt/internal/oflops"
 	"osnt/internal/ofswitch"
 	"osnt/internal/packet"
+	"osnt/internal/runner"
 	"osnt/internal/sim"
 	"osnt/internal/stats"
 	"osnt/internal/switchsim"
@@ -26,6 +30,14 @@ import (
 
 // FrameSizes is the standard RFC 2544 sweep used across experiments.
 var FrameSizes = []int{64, 128, 256, 512, 1024, 1280, 1518}
+
+// Workers is the sweep parallelism every experiment driver uses: 0 means
+// GOMAXPROCS, 1 forces the serial reference. Every sweep point is an
+// independent engine with its own seeds and the runner merges rows in
+// canonical order, so tables are byte-identical at any setting.
+var Workers int
+
+func sweeper() *runner.Runner { return runner.New(Workers) }
 
 var probeSpec = packet.UDPSpec{
 	SrcMAC:  packet.MAC{0x02, 0x05, 0x17, 0, 0, 0x01},
@@ -47,50 +59,55 @@ func E1LineRate(duration sim.Duration) *stats.Table {
 		Title:   "E1: line-rate generation vs frame size (offered 100%)",
 		Columns: []string{"frame(B)", "ports", "theoretical(Mpps)", "achieved(Mpps)", "rate(Gb/s)", "ok"},
 	}
-	for _, fs := range FrameSizes {
-		for _, nports := range []int{1, 4} {
-			e := sim.NewEngine()
-			card := netfpga.New(e, netfpga.Config{})
-			var gens []*gen.Generator
-			delivered := make([]uint64, nports)
-			for p := 0; p < nports; p++ {
-				p := p
-				sink := wire.EndpointFunc(func(f *wire.Frame, _, _ sim.Time) { delivered[p]++ })
-				card.Port(p).SetLink(wire.NewLink(e, wire.Rate10G, 0, sink))
-				spec := probeSpec
-				spec.SrcPort = uint16(5000 + p)
-				g, err := gen.New(card.Port(p), gen.Config{
-					Source:  &gen.UDPFlowSource{Spec: spec, FrameSize: fs},
-					Spacing: gen.CBRForLoad(fs, wire.Rate10G, 1.0),
-				})
-				if err != nil {
-					panic(err)
-				}
-				g.Start(0)
-				gens = append(gens, g)
+	portCounts := []int{1, 4}
+	tbl.Rows = sweeper().Rows(len(FrameSizes)*len(portCounts), func(i int) [][]string {
+		fs := FrameSizes[i/len(portCounts)]
+		nports := portCounts[i%len(portCounts)]
+		e := sim.NewEngine()
+		card := netfpga.New(e, netfpga.Config{})
+		var gens []*gen.Generator
+		delivered := make([]uint64, nports)
+		for p := 0; p < nports; p++ {
+			p := p
+			sink := wire.EndpointFunc(func(f *wire.Frame, _, _ sim.Time) {
+				delivered[p]++
+				f.Release()
+			})
+			card.Port(p).SetLink(wire.NewLink(e, wire.Rate10G, 0, sink))
+			spec := probeSpec
+			spec.SrcPort = uint16(5000 + p)
+			g, err := gen.New(card.Port(p), gen.Config{
+				Source:  &gen.UDPFlowSource{Spec: spec, FrameSize: fs},
+				Spacing: gen.CBRForLoad(fs, wire.Rate10G, 1.0),
+				Pool:    wire.DefaultPool,
+			})
+			if err != nil {
+				panic(err)
 			}
-			e.RunUntil(sim.Time(duration))
-			for _, g := range gens {
-				g.Stop()
-			}
-			var total uint64
-			for _, d := range delivered {
-				total += d
-			}
-			perPort := float64(total) / float64(nports) / duration.Seconds()
-			theo := wire.MaxPPS(fs, wire.Rate10G)
-			gbps := perPort * float64(wire.WireBytes(fs)) * 8 / 1e9
-			ok := perPort > theo*0.999
-			tbl.AddRow(
-				fmt.Sprintf("%d", fs),
-				fmt.Sprintf("%d", nports),
-				fmt.Sprintf("%.3f", theo/1e6),
-				fmt.Sprintf("%.3f", perPort/1e6),
-				fmt.Sprintf("%.3f", gbps),
-				fmt.Sprintf("%v", ok),
-			)
+			g.Start(0)
+			gens = append(gens, g)
 		}
-	}
+		e.RunUntil(sim.Time(duration))
+		for _, g := range gens {
+			g.Stop()
+		}
+		var total uint64
+		for _, d := range delivered {
+			total += d
+		}
+		perPort := float64(total) / float64(nports) / duration.Seconds()
+		theo := wire.MaxPPS(fs, wire.Rate10G)
+		gbps := perPort * float64(wire.WireBytes(fs)) * 8 / 1e9
+		ok := perPort > theo*0.999
+		return [][]string{{
+			fmt.Sprintf("%d", fs),
+			fmt.Sprintf("%d", nports),
+			fmt.Sprintf("%.3f", theo/1e6),
+			fmt.Sprintf("%.3f", perPort/1e6),
+			fmt.Sprintf("%.3f", gbps),
+			fmt.Sprintf("%v", ok),
+		}}
+	})
 	return tbl
 }
 
@@ -170,7 +187,9 @@ func E3SwitchLatency(duration sim.Duration) *stats.Table {
 		Title:   "E3: legacy switch latency vs offered load (512B Poisson, store-and-forward DUT)",
 		Columns: []string{"load(%)", "mean(µs)", "p50(µs)", "p99(µs)", "max(µs)", "loss(%)"},
 	}
-	for _, load := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 1.0} {
+	loads := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 1.0}
+	tbl.Rows = sweeper().Rows(len(loads), func(i int) [][]string {
+		load := loads[i]
 		e := sim.NewEngine()
 		dev, _ := E3Topology(e, switchsim.Config{
 			LookupPerByte: sim.Picoseconds(820), // capacity just below line rate
@@ -188,15 +207,15 @@ func E3SwitchLatency(duration sim.Duration) *stats.Table {
 			panic(err)
 		}
 		h := res.Latency
-		tbl.AddRow(
+		return [][]string{{
 			fmt.Sprintf("%.0f", load*100),
 			fmt.Sprintf("%.2f", h.Mean()/1e6),
 			fmt.Sprintf("%.2f", float64(h.Percentile(50))/1e6),
 			fmt.Sprintf("%.2f", float64(h.Percentile(99))/1e6),
 			fmt.Sprintf("%.2f", float64(h.Max())/1e6),
 			fmt.Sprintf("%.2f", res.LossFraction()*100),
-		)
-	}
+		}}
+	})
 	return tbl
 }
 
@@ -336,33 +355,35 @@ func E7CapturePath(duration sim.Duration) *stats.Table {
 		{"full packets", mon.Config{RingSize: 128}},
 		{"thin 64B", mon.Config{RingSize: 128, SnapLen: 64}},
 	}
-	for _, load := range []float64{0.2, 0.5, 0.8, 1.0} {
-		for _, p := range pipes {
-			e := sim.NewEngine()
-			tx := netfpga.New(e, netfpga.Config{})
-			rx := netfpga.New(e, netfpga.Config{})
-			tx.Port(0).SetLink(wire.NewLink(e, wire.Rate10G, 0, rx.Port(0)))
-			monitor := mon.Attach(rx.Port(0), p.cfg)
-			g, err := gen.New(tx.Port(0), gen.Config{
-				Source:  &gen.UDPFlowSource{Spec: probeSpec, FrameSize: 1518},
-				Spacing: gen.CBRForLoad(1518, wire.Rate10G, load),
-			})
-			if err != nil {
-				panic(err)
-			}
-			g.Start(0)
-			e.RunUntil(sim.Time(duration))
-			g.Stop()
-			e.Run()
-			tbl.AddRow(
-				fmt.Sprintf("%.0f", load*100),
-				p.name,
-				fmt.Sprintf("%d", monitor.Delivered().Packets),
-				fmt.Sprintf("%d", monitor.RingDrops()),
-				fmt.Sprintf("%.1f", monitor.LossFraction()*100),
-			)
+	loads := []float64{0.2, 0.5, 0.8, 1.0}
+	tbl.Rows = sweeper().Rows(len(loads)*len(pipes), func(i int) [][]string {
+		load := loads[i/len(pipes)]
+		p := pipes[i%len(pipes)]
+		e := sim.NewEngine()
+		tx := netfpga.New(e, netfpga.Config{})
+		rx := netfpga.New(e, netfpga.Config{})
+		tx.Port(0).SetLink(wire.NewLink(e, wire.Rate10G, 0, rx.Port(0)))
+		monitor := mon.Attach(rx.Port(0), p.cfg)
+		g, err := gen.New(tx.Port(0), gen.Config{
+			Source:  &gen.UDPFlowSource{Spec: probeSpec, FrameSize: 1518},
+			Spacing: gen.CBRForLoad(1518, wire.Rate10G, load),
+			Pool:    wire.DefaultPool,
+		})
+		if err != nil {
+			panic(err)
 		}
-	}
+		g.Start(0)
+		e.RunUntil(sim.Time(duration))
+		g.Stop()
+		e.Run()
+		return [][]string{{
+			fmt.Sprintf("%.0f", load*100),
+			p.name,
+			fmt.Sprintf("%d", monitor.Delivered().Packets),
+			fmt.Sprintf("%d", monitor.RingDrops()),
+			fmt.Sprintf("%.1f", monitor.LossFraction()*100),
+		}}
+	})
 	return tbl
 }
 
@@ -405,5 +426,6 @@ func All() []*stats.Table {
 		E6TimestampNoise(0),
 		E7CapturePath(0),
 		E8ControlUnderLoad(),
+		E9PortScaling(0),
 	}
 }

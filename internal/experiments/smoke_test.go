@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestAllTablesWellFormed is the harness-level smoke test: every
+// experiment in All() must produce a titled table whose rows all match
+// the header width and carry no empty cells — the shape contract
+// cmd/osnt-bench and EXPERIMENTS.md rely on.
+func TestAllTablesWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full E1–E9 evaluation")
+	}
+	tables := All()
+	if len(tables) != 9 {
+		t.Fatalf("All() returned %d tables, want 9 (E1–E9)", len(tables))
+	}
+	for i, tbl := range tables {
+		if tbl.Title == "" {
+			t.Errorf("table %d has no title", i+1)
+		}
+		if len(tbl.Columns) == 0 {
+			t.Errorf("%s: no columns", tbl.Title)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: no rows", tbl.Title)
+		}
+		for r, row := range tbl.Rows {
+			if len(row) != len(tbl.Columns) {
+				t.Errorf("%s: row %d has %d cells, header has %d",
+					tbl.Title, r, len(row), len(tbl.Columns))
+				continue
+			}
+			for c, cell := range row {
+				if cell == "" {
+					t.Errorf("%s: empty cell at row %d col %d (%s)",
+						tbl.Title, r, c, tbl.Columns[c])
+				}
+			}
+		}
+	}
+}

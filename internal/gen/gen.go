@@ -83,6 +83,17 @@ type Source interface {
 	Next() *wire.Frame
 }
 
+// PooledSource is a Source that can write the next frame into a
+// caller-provided (typically pool-recycled) frame instead of allocating a
+// fresh one. NextInto reports false when the stream is exhausted, leaving
+// f untouched. When a Generator has a frame Pool configured and its
+// Source implements PooledSource, the per-packet emit path allocates
+// nothing.
+type PooledSource interface {
+	Source
+	NextInto(f *wire.Frame) bool
+}
+
 // SliceSource replays a fixed list of frames (optionally cyclically).
 type SliceSource struct {
 	Frames []*wire.Frame
@@ -93,15 +104,33 @@ type SliceSource struct {
 // Next implements Source. Frames are cloned so in-flight mutation
 // (timestamp embedding) cannot corrupt the template.
 func (s *SliceSource) Next() *wire.Frame {
+	t := s.advance()
+	if t == nil {
+		return nil
+	}
+	return t.Clone()
+}
+
+// NextInto implements PooledSource.
+func (s *SliceSource) NextInto(f *wire.Frame) bool {
+	t := s.advance()
+	if t == nil {
+		return false
+	}
+	f.CopyFrom(t)
+	return true
+}
+
+func (s *SliceSource) advance() *wire.Frame {
 	if s.pos >= len(s.Frames) {
 		if !s.Loop || len(s.Frames) == 0 {
 			return nil
 		}
 		s.pos = 0
 	}
-	f := s.Frames[s.pos].Clone()
+	t := s.Frames[s.pos]
 	s.pos++
-	return f
+	return t
 }
 
 // UDPFlowSource synthesises UDP-in-IPv4 frames cycling across NumFlows
@@ -125,6 +154,17 @@ var IMIXSizes = []int{64, 64, 64, 64, 64, 64, 64, 570, 570, 570, 570, 1518}
 
 // Next implements Source.
 func (u *UDPFlowSource) Next() *wire.Frame {
+	return u.advance().Clone()
+}
+
+// NextInto implements PooledSource. The synthetic stream never ends, so
+// it always reports true.
+func (u *UDPFlowSource) NextInto(f *wire.Frame) bool {
+	f.CopyFrom(u.advance())
+	return true
+}
+
+func (u *UDPFlowSource) advance() *wire.Frame {
 	if u.built == nil {
 		n := u.NumFlows
 		if n <= 0 {
@@ -151,9 +191,9 @@ func (u *UDPFlowSource) Next() *wire.Frame {
 			}
 		}
 	}
-	f := u.built[u.pos%len(u.built)].Clone()
+	t := u.built[u.pos%len(u.built)]
 	u.pos++
-	return f
+	return t
 }
 
 // PCAPSource replays records from a capture. ScaleGap rescales the
@@ -265,14 +305,20 @@ type Config struct {
 	TimestampOffset int
 	// Seed feeds the spacing model's random stream.
 	Seed uint64
+	// Pool, when set, recycles per-packet frames: emit draws frames from
+	// it instead of allocating, and downstream terminal endpoints release
+	// them back. Works best with a Source implementing PooledSource
+	// (plain Sources still allocate inside Next).
+	Pool *wire.Pool
 }
 
 // Generator drives one card port. It owns the port's OnTransmit hook
 // while running.
 type Generator struct {
-	port *netfpga.Port
-	cfg  Config
-	rand *sim.Rand
+	port   *netfpga.Port
+	cfg    Config
+	rand   *sim.Rand
+	pooled PooledSource // non-nil when Pool is set and Source supports it
 
 	sent    stats.Counter
 	dropped uint64
@@ -293,7 +339,13 @@ func New(port *netfpga.Port, cfg Config) (*Generator, error) {
 	if cfg.TimestampOffset == 0 {
 		cfg.TimestampOffset = DefaultTimestampOffset
 	}
-	return &Generator{port: port, cfg: cfg, rand: sim.NewRand(cfg.Seed ^ 0x05170)}, nil
+	g := &Generator{port: port, cfg: cfg, rand: sim.NewRand(cfg.Seed ^ 0x05170)}
+	if cfg.Pool != nil {
+		if ps, ok := cfg.Source.(PooledSource); ok {
+			g.pooled = ps
+		}
+	}
+	return g, nil
 }
 
 // OnDone registers a callback fired when the generator finishes (count
@@ -330,21 +382,35 @@ func (g *Generator) emit() {
 		g.finish()
 		return
 	}
-	f := g.cfg.Source.Next()
-	if f == nil {
-		g.finish()
-		return
+	var f *wire.Frame
+	if g.pooled != nil {
+		f = g.cfg.Pool.Get(0)
+		if !g.pooled.NextInto(f) {
+			f.Release()
+			g.finish()
+			return
+		}
+	} else {
+		f = g.cfg.Source.Next()
+		if f == nil {
+			g.finish()
+			return
+		}
 	}
+	size := f.Size
 	if g.port.Enqueue(f) {
-		g.sent.Add(wire.WireBytes(f.Size))
+		g.sent.Add(wire.WireBytes(size))
 	} else {
 		g.dropped++
+		f.Release()
 	}
 	gap := g.cfg.Spacing.Next(g.rand)
 	if gap < 0 {
 		gap = 0
 	}
-	g.next = g.port.Card().Engine.ScheduleAfter(gap, g.emit)
+	// emit is the callback of g.next itself, which has just fired:
+	// re-arming it reuses the one Event for the generator's lifetime.
+	g.port.Card().Engine.RescheduleAfter(g.next, gap)
 }
 
 func (g *Generator) finish() {

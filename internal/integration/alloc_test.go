@@ -1,0 +1,102 @@
+package integration_test
+
+import (
+	"testing"
+
+	"osnt/internal/gen"
+	"osnt/internal/mon"
+	"osnt/internal/netfpga"
+	"osnt/internal/race"
+	"osnt/internal/sim"
+	"osnt/internal/wire"
+)
+
+// perPacketRig wires the canonical hot path — pooled generator → TX
+// queue → MAC/link → RX MAC → monitor ring → host drain — on one engine,
+// driven at 64 B line rate (the 14.88 Mpps worst case).
+func perPacketRig(tb testing.TB, pool *wire.Pool) (*sim.Engine, *gen.Generator, *mon.Monitor) {
+	tb.Helper()
+	e := sim.NewEngine()
+	card := netfpga.New(e, netfpga.Config{Ports: 2})
+	card.Port(0).SetLink(wire.NewLink(e, wire.Rate10G, 0, card.Port(1)))
+	m := mon.Attach(card.Port(1), mon.Config{SnapLen: 64}) // nil Sink → buffers recycle
+	g, err := gen.New(card.Port(0), gen.Config{
+		Source:  &gen.UDPFlowSource{Spec: spec, FrameSize: 64},
+		Spacing: gen.CBRForLoad(64, wire.Rate10G, 1.0),
+		Pool:    pool,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g.Start(0)
+	return e, g, m
+}
+
+// TestPerPacketPathZeroAlloc pins the tentpole's win: once warmed, the
+// gen→port→mon per-packet path must stay at ~0 allocations per packet.
+// The bound is deliberately tiny but nonzero — a stray GC cycle may cool
+// the sync.Pool mid-measurement — and still fails loudly if any per-packet
+// allocation (frame, event, closure, ring copy) creeps back in.
+func TestPerPacketPathZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("sync.Pool drops Puts under -race; strict alloc bound only holds in normal builds")
+	}
+	pool := wire.NewPool()
+	e, _, m := perPacketRig(t, pool)
+
+	// Warm-up: populate the pool, queue capacity, and register file.
+	e.RunFor(200 * sim.Microsecond)
+
+	const span = sim.Millisecond
+	interval := gen.CBRForLoad(64, wire.Rate10G, 1.0).Interval
+	pktPerSpan := float64(span) / float64(interval) // ≈ 14881
+
+	avg := testing.AllocsPerRun(5, func() {
+		e.RunFor(span)
+	})
+	perPacket := avg / pktPerSpan
+	t.Logf("allocs: %.1f per %0.f-packet span = %.4f/packet", avg, pktPerSpan, perPacket)
+	if perPacket > 0.01 {
+		t.Errorf("per-packet path allocates %.4f/packet, want ~0 (pooled path rotted?)", perPacket)
+	}
+
+	if seen := m.Seen().Packets; seen == 0 {
+		t.Fatal("monitor saw no packets — rig is miswired")
+	}
+	gets, _, fresh := pool.Stats()
+	if fresh >= gets {
+		t.Errorf("pool never recycled: %d gets, %d fresh", gets, fresh)
+	}
+}
+
+// TestUnpooledPathStillWorks locks the fallback: without a Pool the same
+// rig runs correctly (allocating per packet), so pooling stays an
+// optimisation, not a requirement.
+func TestUnpooledPathStillWorks(t *testing.T) {
+	e, g, m := perPacketRig(t, nil)
+	e.RunFor(100 * sim.Microsecond)
+	g.Stop()
+	e.Run()
+	if m.Seen().Packets != g.Sent().Packets {
+		t.Fatalf("sent %d, monitor saw %d", g.Sent().Packets, m.Seen().Packets)
+	}
+}
+
+// TestPooledAndUnpooledAgree runs the rig both ways for the same virtual
+// time and demands identical packet counts and MAC byte counters: the
+// pool must be invisible to the simulation's arithmetic.
+func TestPooledAndUnpooledAgree(t *testing.T) {
+	run := func(pool *wire.Pool) (sent, seen, delivered uint64, bytes uint64) {
+		e, g, m := perPacketRig(t, pool)
+		e.RunFor(500 * sim.Microsecond)
+		g.Stop()
+		e.Run()
+		return g.Sent().Packets, m.Seen().Packets, m.Delivered().Packets, m.Seen().Bytes
+	}
+	ps, pSeen, pDel, pBytes := run(wire.NewPool())
+	us, uSeen, uDel, uBytes := run(nil)
+	if ps != us || pSeen != uSeen || pDel != uDel || pBytes != uBytes {
+		t.Fatalf("pooled (%d/%d/%d/%dB) != unpooled (%d/%d/%d/%dB)",
+			ps, pSeen, pDel, pBytes, us, uSeen, uDel, uBytes)
+	}
+}

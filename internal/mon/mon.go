@@ -77,6 +77,13 @@ type Config struct {
 	// Sink receives records in delivery order. A nil sink still models
 	// the ring (records are counted and discarded at the host).
 	Sink func(Record)
+
+	// RecycleRecords returns each record's Data buffer to an internal
+	// free list once the Sink has returned, making the steady-state
+	// capture path allocation-free. The Sink must then copy any bytes it
+	// keeps past the callback. Always on when Sink is nil (nobody can
+	// retain the buffer).
+	RecycleRecords bool
 }
 
 func (c *Config) fill() {
@@ -100,8 +107,19 @@ type Monitor struct {
 	cfg  Config
 	eng  *sim.Engine
 
+	// ring is a head-indexed FIFO: head advances on delivery and the
+	// tail grows by append; pending occupancy is len(ring)-head. The
+	// slice is compacted only when the dead prefix dominates, so the
+	// per-packet cost is O(1) with no copy-down.
 	ring     []Record
+	head     int
 	draining bool
+	drainEv  *sim.Event // reusable: at most one DMA completion in flight
+
+	// bufFree recycles record buffers when cfg.RecycleRecords (or a nil
+	// Sink) allows it; bounded by the ring capacity.
+	bufFree [][]byte
+	recycle bool
 
 	seen      stats.Counter // all frames presented to the pipeline
 	accepted  stats.Counter // past the filter stage
@@ -114,6 +132,7 @@ type Monitor struct {
 func Attach(port *netfpga.Port, cfg Config) *Monitor {
 	cfg.fill()
 	m := &Monitor{port: port, cfg: cfg, eng: port.Card().Engine}
+	m.recycle = cfg.RecycleRecords || cfg.Sink == nil
 	port.OnReceive = m.onReceive
 	return m
 }
@@ -151,13 +170,13 @@ func (m *Monitor) onReceive(f *wire.Frame, at sim.Time, ts timing.Timestamp) {
 
 	m.accepted.Add(wire.WireBytes(f.Size))
 
-	if len(m.ring) >= m.cfg.RingSize {
+	if len(m.ring)-m.head >= m.cfg.RingSize {
 		m.ringDrops++
 		return
 	}
 	// The descriptor ring owns a copy: the frame buffer belongs to the
 	// datapath and may be reused.
-	cp := make([]byte, len(data))
+	cp := m.getBuf(len(data))
 	copy(cp, data)
 	m.ring = append(m.ring, Record{
 		Data: cp, WireSize: f.Size, TS: ts, Arrival: at,
@@ -166,26 +185,60 @@ func (m *Monitor) onReceive(f *wire.Frame, at sim.Time, ts timing.Timestamp) {
 	m.drain()
 }
 
+// getBuf returns a buffer of length n, recycled from delivered records
+// when the configuration allows it.
+func (m *Monitor) getBuf(n int) []byte {
+	if k := len(m.bufFree); k > 0 {
+		b := m.bufFree[k-1]
+		m.bufFree[k-1] = nil
+		m.bufFree = m.bufFree[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
 // drain models the host consuming the ring one record at a time.
 func (m *Monitor) drain() {
-	if m.draining || len(m.ring) == 0 {
+	if m.draining || len(m.ring) == m.head {
 		return
 	}
 	m.draining = true
-	rec := m.ring[0]
-	cost := m.cfg.HostPerPacket + sim.Duration(len(rec.Data))*m.cfg.HostPerByte
-	m.eng.ScheduleAfter(cost, func() {
-		copy(m.ring, m.ring[1:])
-		m.ring[len(m.ring)-1] = Record{}
-		m.ring = m.ring[:len(m.ring)-1]
-		rec.Delivered = m.eng.Now()
-		m.delivered.Add(rec.WireSize)
-		if m.cfg.Sink != nil {
-			m.cfg.Sink(rec)
+	cost := m.cfg.HostPerPacket + sim.Duration(len(m.ring[m.head].Data))*m.cfg.HostPerByte
+	if m.drainEv == nil {
+		m.drainEv = m.eng.ScheduleAfter(cost, m.drainDone)
+	} else {
+		m.eng.RescheduleAfter(m.drainEv, cost)
+	}
+}
+
+// drainDone is the DMA-completion handler for the record at the ring
+// head.
+func (m *Monitor) drainDone() {
+	rec := m.ring[m.head]
+	m.ring[m.head] = Record{}
+	m.head++
+	// Compact once the dead prefix dominates a non-trivial ring, so the
+	// backing array stays proportional to occupancy.
+	if m.head >= 256 && m.head*2 >= len(m.ring) {
+		n := copy(m.ring, m.ring[m.head:])
+		for i := n; i < len(m.ring); i++ {
+			m.ring[i] = Record{}
 		}
-		m.draining = false
-		m.drain()
-	})
+		m.ring = m.ring[:n]
+		m.head = 0
+	}
+	rec.Delivered = m.eng.Now()
+	m.delivered.Add(rec.WireSize)
+	if m.cfg.Sink != nil {
+		m.cfg.Sink(rec)
+	}
+	if m.recycle {
+		m.bufFree = append(m.bufFree, rec.Data[:0])
+	}
+	m.draining = false
+	m.drain()
 }
 
 // Seen returns counters over every frame presented to the pipeline.
@@ -205,7 +258,7 @@ func (m *Monitor) RingDrops() uint64 { return m.ringDrops }
 func (m *Monitor) Delivered() stats.Counter { return m.delivered }
 
 // RingDepth returns the instantaneous ring occupancy.
-func (m *Monitor) RingDepth() int { return len(m.ring) }
+func (m *Monitor) RingDepth() int { return len(m.ring) - m.head }
 
 // LossFraction returns ring drops as a fraction of accepted frames.
 func (m *Monitor) LossFraction() float64 {

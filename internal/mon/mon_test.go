@@ -223,7 +223,7 @@ func TestThinBeforeFilterAblation(t *testing.T) {
 func TestRingDepthBounded(t *testing.T) {
 	r, g := newRig(t, Config{RingSize: 16}, 1518, 1.0)
 	maxDepth := 0
-	r.e.Every(0, 10*sim.Microsecond, func() {
+	r.e.ScheduleEvery(0, 10*sim.Microsecond, func() {
 		if d := r.mon.RingDepth(); d > maxDepth {
 			maxDepth = d
 		}

@@ -59,7 +59,15 @@ func New(e *sim.Engine, cfg Config) *Card {
 	cfg.fill()
 	c := &Card{Engine: e, Clock: cfg.Clock, Regs: NewRegisters(), cfg: cfg}
 	for i := 0; i < cfg.Ports; i++ {
-		c.ports = append(c.ports, &Port{card: c, index: i})
+		p := &Port{card: c, index: i}
+		// Register names are formatted once here: the TX/RX paths bump
+		// these counters per packet and must not pay fmt.Sprintf there.
+		p.regTxPackets = p.regName("tx_packets")
+		p.regTxBytes = p.regName("tx_bytes")
+		p.regTxDrops = p.regName("tx_drops")
+		p.regRxPackets = p.regName("rx_packets")
+		p.regRxBytes = p.regName("rx_bytes")
+		c.ports = append(c.ports, p)
 	}
 	c.Regs.Set("device.id", 0x05170)
 	c.Regs.Set("device.ports", uint64(cfg.Ports))
@@ -99,6 +107,15 @@ type Port struct {
 	rxStats  stats.Counter
 	txDrops  uint64
 	txQueued int
+
+	// txDoneEv is the reusable MAC-idle event: at most one transmission
+	// is in flight per port, so one Event serves every frame.
+	txDoneEv *sim.Event
+
+	// Precomputed register names (see New) keep the per-packet counter
+	// updates allocation-free.
+	regTxPackets, regTxBytes, regTxDrops string
+	regRxPackets, regRxBytes             string
 }
 
 // Index returns the port number on the card.
@@ -122,7 +139,7 @@ func (p *Port) Enqueue(f *wire.Frame) bool {
 	}
 	if p.txQueued >= p.card.cfg.TxQueueCap {
 		p.txDrops++
-		p.card.Regs.Add(p.regName("tx_drops"), 1)
+		p.card.Regs.Add(p.regTxDrops, 1)
 		return false
 	}
 	p.txq = append(p.txq, f)
@@ -149,24 +166,34 @@ func (p *Port) trySend() {
 	p.txBusy = true
 	end := p.txLink.Transmit(f)
 	p.txStats.Add(wire.WireBytes(f.Size))
-	p.card.Regs.Add(p.regName("tx_packets"), 1)
-	p.card.Regs.Add(p.regName("tx_bytes"), uint64(f.Size))
-	p.card.Engine.Schedule(end, func() {
-		p.txBusy = false
-		p.trySend()
-	})
+	p.card.Regs.Add(p.regTxPackets, 1)
+	p.card.Regs.Add(p.regTxBytes, uint64(f.Size))
+	if p.txDoneEv == nil {
+		p.txDoneEv = p.card.Engine.Schedule(end, p.txDone)
+	} else {
+		p.card.Engine.Reschedule(p.txDoneEv, end)
+	}
+}
+
+func (p *Port) txDone() {
+	p.txBusy = false
+	p.trySend()
 }
 
 // Receive implements wire.Endpoint: the RX MAC latches a timestamp the
 // instant the frame fully arrives and hands it to the attached subsystem.
+// The card port is a terminal endpoint, so pooled frames are released
+// once OnReceive returns; hooks that keep the bytes past the callback
+// must copy them (the monitor's capture ring does).
 func (p *Port) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
 	ts := p.card.Clock.Now(at)
 	p.rxStats.Add(wire.WireBytes(f.Size))
-	p.card.Regs.Add(p.regName("rx_packets"), 1)
-	p.card.Regs.Add(p.regName("rx_bytes"), uint64(f.Size))
+	p.card.Regs.Add(p.regRxPackets, 1)
+	p.card.Regs.Add(p.regRxBytes, uint64(f.Size))
 	if p.OnReceive != nil {
 		p.OnReceive(f, at, ts)
 	}
+	f.Release()
 }
 
 // TxStats returns cumulative transmit counters (wire bytes).

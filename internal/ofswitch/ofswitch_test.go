@@ -154,7 +154,7 @@ func TestBarrierOrderingAndHWLag(t *testing.T) {
 		}
 	}
 	// Poll for dataplane visibility.
-	r.e.Every(0, 50*sim.Microsecond, func() {
+	r.e.ScheduleEvery(0, 50*sim.Microsecond, func() {
 		if installedAt == 0 && r.sw.Table().Len() > 0 {
 			installedAt = r.e.Now()
 		}

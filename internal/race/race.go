@@ -1,0 +1,6 @@
+// Package race reports whether the Go race detector is compiled into
+// this binary. Allocation-regression tests consult it: under -race,
+// sync.Pool intentionally drops a fraction of Puts to shake out
+// lifetime bugs, so strict zero-allocation assertions only hold in
+// normal builds.
+package race

@@ -106,6 +106,32 @@ func (e *Engine) ScheduleAfter(d Duration, fn func()) *Event {
 	return e.Schedule(e.now.Add(d), fn)
 }
 
+// Reschedule re-arms an event that has already fired (or been popped as
+// cancelled), reusing its allocation and callback instead of building a
+// fresh Event. This is the zero-allocation path for self-rescheduling
+// work: a component that fires once per packet keeps a single Event alive
+// for its whole lifetime rather than pushing one heap allocation per
+// packet through the garbage collector. Rescheduling an event that is
+// still queued panics — that would corrupt the heap.
+func (e *Engine) Reschedule(ev *Event, at Time) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, e.now))
+	}
+	if ev.index != -1 {
+		panic("sim: reschedule of an event still in the queue")
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.cancel = false
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// RescheduleAfter re-arms a fired event d after the current instant.
+func (e *Engine) RescheduleAfter(ev *Event, d Duration) {
+	e.Reschedule(ev, e.now.Add(d))
+}
+
 // Step executes the next pending event, advancing the clock to its instant.
 // It returns false when the queue is empty. Cancelled events are discarded
 // without advancing the clock.
@@ -171,9 +197,13 @@ func (e *Engine) peek() (Time, bool) {
 	return 0, false
 }
 
-// Every schedules fn at t0, t0+period, t0+2*period, ... until the returned
-// Ticker is stopped. fn observes the engine clock at each firing.
-func (e *Engine) Every(t0 Time, period Duration, fn func()) *Ticker {
+// ScheduleEvery schedules fn at t0, t0+period, t0+2*period, ... until the
+// returned Ticker is stopped; fn observes the engine clock at each firing.
+// It is the allocation-free periodic primitive: one Event (and one
+// callback closure) is reused for every tick, so a CBR source ticking
+// 14.88 M times per simulated second costs the event heap nothing beyond
+// its single long-lived entry.
+func (e *Engine) ScheduleEvery(t0 Time, period Duration, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: non-positive ticker period")
 	}
@@ -182,7 +212,8 @@ func (e *Engine) Every(t0 Time, period Duration, fn func()) *Ticker {
 	return t
 }
 
-// Ticker repeatedly fires a callback at a fixed virtual-time period.
+// Ticker repeatedly fires a callback at a fixed virtual-time period. The
+// underlying Event is reused across firings (see ScheduleEvery).
 type Ticker struct {
 	engine  *Engine
 	period  Duration
@@ -197,7 +228,7 @@ func (t *Ticker) fire() {
 	}
 	t.fn()
 	if !t.stopped { // fn may have stopped the ticker
-		t.ev = t.engine.ScheduleAfter(t.period, t.fire)
+		t.engine.RescheduleAfter(t.ev, t.period)
 	}
 }
 

@@ -127,7 +127,7 @@ func TestRunUntilInclusive(t *testing.T) {
 func TestRunFor(t *testing.T) {
 	e := NewEngine()
 	n := 0
-	e.Every(0, 10, func() { n++ })
+	e.ScheduleEvery(0, 10, func() { n++ })
 	e.RunFor(95)
 	// t = 0, 10, ..., 90 → 10 firings.
 	if n != 10 {
@@ -154,7 +154,7 @@ func TestTickerStop(t *testing.T) {
 	e := NewEngine()
 	n := 0
 	var tk *Ticker
-	tk = e.Every(0, 10, func() {
+	tk = e.ScheduleEvery(0, 10, func() {
 		n++
 		if n == 3 {
 			tk.Stop()

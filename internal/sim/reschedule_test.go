@@ -1,0 +1,103 @@
+package sim
+
+import "testing"
+
+func TestRescheduleReusesEvent(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	var ev *Event
+	ev = e.Schedule(10, func() {
+		fired = append(fired, e.Now())
+		if len(fired) < 3 {
+			e.Reschedule(ev, e.Now().Add(5))
+		}
+	})
+	e.Run()
+	if len(fired) != 3 || fired[0] != 10 || fired[1] != 15 || fired[2] != 20 {
+		t.Fatalf("fired at %v", fired)
+	}
+}
+
+func TestRescheduleAfterCancelRearms(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	ev := e.Schedule(10, func() { count++ })
+	ev.Cancel()
+	e.Run() // pops the cancelled event without firing
+	if count != 0 {
+		t.Fatal("cancelled event fired")
+	}
+	e.Reschedule(ev, e.Now().Add(1))
+	e.Run()
+	if count != 1 {
+		t.Fatalf("re-armed event fired %d times", count)
+	}
+}
+
+func TestRescheduleQueuedEventPanics(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(10, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic rescheduling a queued event")
+		}
+	}()
+	e.Reschedule(ev, 20)
+}
+
+func TestReschedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	var ev *Event
+	ev = e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic rescheduling into the past")
+			}
+		}()
+		e.Reschedule(ev, 5)
+	})
+	e.Run()
+}
+
+func TestScheduleEveryTicksAndStops(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	var tk *Ticker
+	tk = e.ScheduleEvery(100, 50, func() {
+		at = append(at, e.Now())
+		if len(at) == 4 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	want := []Time{100, 150, 200, 250}
+	if len(at) != len(want) {
+		t.Fatalf("ticked at %v", at)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("ticked at %v, want %v", at, want)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events left after Stop", e.Pending())
+	}
+}
+
+// The whole point of ScheduleEvery: a long-running periodic task must not
+// allocate per tick.
+func TestScheduleEveryZeroAllocPerTick(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	e.ScheduleEvery(0, 10, func() { ticks++ })
+	e.RunUntil(1000) // warm up
+	avg := testing.AllocsPerRun(10, func() {
+		e.RunFor(10000) // 1000 ticks
+	})
+	if avg > 1 {
+		t.Errorf("periodic tick allocates (%.1f allocs per 1000 ticks)", avg)
+	}
+	if ticks < 1000 {
+		t.Fatalf("only %d ticks", ticks)
+	}
+}

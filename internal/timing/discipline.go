@@ -76,7 +76,7 @@ func NewDiscipline(osc *Oscillator) *Discipline {
 // true second on the engine, beginning at the next one.
 func (d *Discipline) Start(e *sim.Engine) {
 	next := e.Now() - e.Now()%sim.Time(sim.Second) + sim.Time(sim.Second)
-	e.Every(next, sim.Second, func() { d.onPPS(e.Now()) })
+	e.ScheduleEvery(next, sim.Second, func() { d.onPPS(e.Now()) })
 }
 
 // onPPS handles one GPS pulse at true instant t (a whole second).

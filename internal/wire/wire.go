@@ -87,6 +87,9 @@ type Frame struct {
 	Size int // FCS-inclusive original frame size
 	// SrcPort is an opaque tag devices may use to remember ingress.
 	SrcPort int
+
+	// pool, when non-nil, is where Release returns this frame.
+	pool *Pool
 }
 
 // NewFrame wraps data (header..payload, no FCS) as a full-length frame.
@@ -95,11 +98,35 @@ func NewFrame(data []byte) *Frame {
 }
 
 // Clone returns a deep copy of the frame. Devices that queue frames and
-// devices that modify them must not alias each other's buffers.
+// devices that modify them must not alias each other's buffers. The clone
+// is unpooled regardless of the original's origin.
 func (f *Frame) Clone() *Frame {
 	d := make([]byte, len(f.Data))
 	copy(d, f.Data)
 	return &Frame{Data: d, Size: f.Size, SrcPort: f.SrcPort}
+}
+
+// CopyFrom overwrites f with t's bytes and metadata, reusing f's buffer
+// when it is large enough — the pooled equivalent of t.Clone().
+func (f *Frame) CopyFrom(t *Frame) {
+	if cap(f.Data) < len(t.Data) {
+		f.Data = make([]byte, len(t.Data))
+	} else {
+		f.Data = f.Data[:len(t.Data)]
+	}
+	copy(f.Data, t.Data)
+	f.Size = t.Size
+	f.SrcPort = t.SrcPort
+}
+
+// Release returns a pooled frame to its pool. It is a no-op on unpooled
+// frames (and on a second release), so terminal endpoints can call it
+// unconditionally. The caller must not touch the frame afterwards.
+func (f *Frame) Release() {
+	if p := f.pool; p != nil {
+		f.pool = nil
+		p.put(f)
+	}
 }
 
 // Endpoint is anything that can accept a frame from a link: a card's RX
@@ -131,6 +158,30 @@ type Link struct {
 	busyUntil sim.Time
 	txFrames  uint64
 	txBytes   uint64 // wire bytes including overhead
+
+	// free recycles delivery records (and their engine events) so the
+	// steady-state per-frame delivery costs no allocation.
+	free []*delivery
+}
+
+// delivery is one in-flight frame on the link: the scheduled event that
+// hands it to the peer. The struct, its Event, and its callback closure
+// are created once and reused for every subsequent frame that finds the
+// record on the link's free list.
+type delivery struct {
+	l                 *Link
+	f                 *Frame
+	firstBit, lastBit sim.Time
+	ev                *sim.Event
+}
+
+func (d *delivery) fire() {
+	f, firstBit, lastBit := d.f, d.firstBit, d.lastBit
+	d.f = nil
+	// Recycle before the callback: if the peer transmits on this same
+	// link re-entrantly it can reuse this record immediately.
+	d.l.free = append(d.l.free, d)
+	d.l.Peer.Receive(f, firstBit, lastBit)
 }
 
 // NewLink builds a link on engine e at rate r with propagation delay d,
@@ -168,9 +219,20 @@ func (l *Link) TransmitAt(f *Frame, earliest sim.Time) sim.Time {
 		if now := l.Engine.Now(); eventAt < now {
 			eventAt = now
 		}
-		l.Engine.Schedule(eventAt, func() {
-			l.Peer.Receive(f, firstBit, lastBit)
-		})
+		var d *delivery
+		if n := len(l.free); n > 0 {
+			d = l.free[n-1]
+			l.free[n-1] = nil
+			l.free = l.free[:n-1]
+		} else {
+			d = &delivery{l: l}
+		}
+		d.f, d.firstBit, d.lastBit = f, firstBit, lastBit
+		if d.ev == nil {
+			d.ev = l.Engine.Schedule(eventAt, d.fire)
+		} else {
+			l.Engine.Reschedule(d.ev, eventAt)
+		}
 	}
 	return end
 }
