@@ -1,6 +1,6 @@
 // Package osnt_test holds the repository-level benchmark harness: one
-// benchmark per experiment table/figure in DESIGN.md (E1–E8, plus the E9
-// port-scaling sweep). Each iteration regenerates the corresponding
+// benchmark per experiment table/figure in DESIGN.md (E1–E8, plus the
+// E9/E10/E11 scaling sweeps). Each iteration regenerates the corresponding
 // table from scratch, so `go test -bench=. -benchmem` both exercises the
 // full stack and reports how much host CPU a complete experiment costs.
 // The tables themselves are printed by `go run ./cmd/osnt-bench` and
@@ -19,11 +19,13 @@ import (
 const (
 	// E1 needs a window long enough that losing the packet straddling the
 	// window edge stays under the 0.1% line-rate tolerance.
-	benchE1Dur = sim.Millisecond
-	benchE2Dur = 60 * sim.Second
-	benchE3Dur = 5 * sim.Millisecond
-	benchE7Dur = 5 * sim.Millisecond
-	benchE9Dur = sim.Millisecond
+	benchE1Dur  = sim.Millisecond
+	benchE2Dur  = 60 * sim.Second
+	benchE3Dur  = 5 * sim.Millisecond
+	benchE7Dur  = 5 * sim.Millisecond
+	benchE9Dur  = sim.Millisecond
+	benchE10Dur = sim.Millisecond
+	benchE11Dur = sim.Millisecond
 )
 
 func BenchmarkE1LineRate(b *testing.B) {
@@ -108,6 +110,30 @@ func BenchmarkE9PortScaling(b *testing.B) {
 		for _, row := range tbl.Rows {
 			if row[6] != "true" {
 				b.Fatalf("scaling missed line rate: %v", row)
+			}
+		}
+	}
+}
+
+func BenchmarkE10TesterMesh(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E10TesterMesh(benchE10Dur)
+		for _, row := range tbl.Rows {
+			if row[7] != "true" {
+				b.Fatalf("mesh missed line rate: %v", row)
+			}
+		}
+	}
+}
+
+func BenchmarkE11Rate40G(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E11Rate40G(benchE11Dur)
+		for _, row := range tbl.Rows {
+			if row[6] != "true" {
+				b.Fatalf("40G missed line rate: %v", row)
 			}
 		}
 	}

@@ -1,8 +1,8 @@
 // Command osnt-bench regenerates the paper's evaluation: every experiment
-// table from DESIGN.md (E1–E8, plus the E9 multi-port scaling sweep)
-// printed to stdout. Use -e to select a single experiment and -workers to
-// bound sweep parallelism (tables are byte-identical at any worker
-// count).
+// table from DESIGN.md (E1–E8, plus the scaling sweeps E9 multi-port,
+// E10 tester mesh and E11 40G ports) printed to stdout. Use -e to select
+// a single experiment and -workers to bound sweep parallelism (tables
+// are byte-identical at any worker count).
 //
 // Usage:
 //
@@ -36,6 +36,8 @@ var runners = []struct {
 	{"e7", "loss-limited capture path", func() *stats.Table { return experiments.E7CapturePath(0) }},
 	{"e8", "control channel under dataplane load", experiments.E8ControlUnderLoad},
 	{"e9", "multi-port scaling: 1/2/4/8 gen→mon pairs at line rate", func() *stats.Table { return experiments.E9PortScaling(0) }},
+	{"e10", "tester mesh: 2/4 cards full-mesh through a DUT", func() *stats.Table { return experiments.E10TesterMesh(0) }},
+	{"e11", "40G ports: gen→mon pairs at 40 Gb/s line rate", func() *stats.Table { return experiments.E11Rate40G(0) }},
 }
 
 func main() {

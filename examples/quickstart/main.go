@@ -1,8 +1,9 @@
 // Quickstart: measure the latency of a switch with OSNT in ~40 lines.
 //
-// An OSNT tester (simulated NetFPGA-10G) generates timestamped traffic
-// through a store-and-forward switch and captures it on a second port;
-// the latency distribution comes straight from the hardware timestamps.
+// The rig is declared as a topology graph: an OSNT tester (simulated
+// NetFPGA-10G) wired through a store-and-forward switch, generator on
+// port 0, capture on port 1. The latency distribution comes straight
+// from the hardware timestamps.
 //
 //	go run ./examples/quickstart
 package main
@@ -12,18 +13,24 @@ import (
 	"log"
 
 	"osnt/internal/core"
-	"osnt/internal/experiments"
+	"osnt/internal/netfpga"
 	"osnt/internal/packet"
 	"osnt/internal/sim"
 	"osnt/internal/switchsim"
+	"osnt/internal/topo"
 )
 
 func main() {
 	engine := sim.NewEngine()
 
-	// Tester port 0 → switch → tester port 1 (Demo Part I topology, with
-	// the switch's MAC table pre-learned).
-	device, _ := experiments.E3Topology(engine, switchsim.Config{})
+	// Demo Part I topology, declaratively: tester port 0 → switch port 0,
+	// switch port 1 ↔ tester port 1.
+	t := topo.New().
+		Tester("osnt", netfpga.Config{}).
+		DUT("sw", switchsim.Config{}).
+		Link("osnt:0", "sw:0").
+		Duplex("sw:1", "osnt:1").
+		MustBuild(engine)
 
 	probe := packet.UDPSpec{
 		SrcMAC:  packet.MAC{0x02, 0x05, 0x17, 0, 0, 0x01},
@@ -32,9 +39,11 @@ func main() {
 		DstIP:   packet.IP4{10, 0, 0, 2},
 		SrcPort: 5000, DstPort: 7000,
 	}
+	// Pre-learn the capture-side station so nothing floods.
+	t.DUT("sw").Learn(probe.DstMAC, 1)
 
 	result, err := (&core.LatencyTest{
-		Device: device,
+		Device: t.Tester("osnt"),
 		TxPort: 0, RxPort: 1,
 		Spec:      probe,
 		FrameSize: 512,

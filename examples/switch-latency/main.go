@@ -17,12 +17,13 @@ import (
 	"log"
 
 	"osnt/internal/core"
-	"osnt/internal/experiments"
 	"osnt/internal/gen"
+	"osnt/internal/netfpga"
 	"osnt/internal/packet"
 	"osnt/internal/sim"
 	"osnt/internal/stats"
 	"osnt/internal/switchsim"
+	"osnt/internal/topo"
 	"osnt/internal/wire"
 )
 
@@ -36,12 +37,21 @@ var probe = packet.UDPSpec{
 
 func measure(mode switchsim.ForwardingMode, frameSize int, load float64) *core.LatencyResult {
 	engine := sim.NewEngine()
-	device, _ := experiments.E3Topology(engine, switchsim.Config{
-		Mode:          mode,
-		LookupPerByte: sim.Picoseconds(820),
-		LookupJitter:  0.5,
-		Seed:          11,
-	})
+	// The Demo Part I rig as a topology graph, with the capture-side
+	// station pre-learned so nothing floods.
+	t := topo.New().
+		Tester("osnt", netfpga.Config{}).
+		DUT("sw", switchsim.Config{
+			Mode:          mode,
+			LookupPerByte: sim.Picoseconds(820),
+			LookupJitter:  0.5,
+			Seed:          11,
+		}).
+		Link("osnt:0", "sw:0").
+		Duplex("sw:1", "osnt:1").
+		MustBuild(engine)
+	device := t.Tester("osnt")
+	t.DUT("sw").Learn(probe.DstMAC, 1)
 	slot := wire.SerializationTime(frameSize, wire.Rate10G)
 	res, err := (&core.LatencyTest{
 		Device: device, TxPort: 0, RxPort: 1,

@@ -31,14 +31,11 @@ type Device struct {
 	mons map[int]*mon.Monitor
 }
 
-// NewDevice builds a tester on the engine.
+// NewDevice builds a tester on the engine. The driver maps are created
+// lazily: topology sweeps build thousands of Devices whose ports are
+// driven directly through gen.New/mon.Attach.
 func NewDevice(e *sim.Engine, cfg netfpga.Config) *Device {
-	return &Device{
-		Engine: e,
-		Card:   netfpga.New(e, cfg),
-		gens:   make(map[int]*gen.Generator),
-		mons:   make(map[int]*mon.Monitor),
-	}
+	return &Device{Engine: e, Card: netfpga.New(e, cfg)}
 }
 
 // ConfigureGenerator installs a traffic generator on a port, replacing
@@ -51,6 +48,9 @@ func (d *Device) ConfigureGenerator(port int, cfg gen.Config) (*gen.Generator, e
 	if err != nil {
 		return nil, err
 	}
+	if d.gens == nil {
+		d.gens = make(map[int]*gen.Generator)
+	}
 	d.gens[port] = g
 	return g, nil
 }
@@ -62,6 +62,9 @@ func (d *Device) ConfigureMonitor(port int, cfg mon.Config) (*mon.Monitor, error
 		return nil, fmt.Errorf("core: port %d out of range", port)
 	}
 	m := mon.Attach(d.Card.Port(port), cfg)
+	if d.mons == nil {
+		d.mons = make(map[int]*mon.Monitor)
+	}
 	d.mons[port] = m
 	return m, nil
 }

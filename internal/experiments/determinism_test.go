@@ -29,13 +29,16 @@ func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	}{
 		{"E1", func() *stats.Table { return E1LineRate(sim.Millisecond) }},
 		{"E3", func() *stats.Table { return E3SwitchLatency(2 * sim.Millisecond) }},
+		{"E5", func() *stats.Table { return E5Consistency() }},
 		{"E7", func() *stats.Table { return E7CapturePath(2 * sim.Millisecond) }},
 		{"E9", func() *stats.Table { return E9PortScaling(sim.Millisecond) }},
+		{"E10", func() *stats.Table { return E10TesterMesh(sim.Millisecond) }},
+		{"E11", func() *stats.Table { return E11Rate40G(sim.Millisecond) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			serial := withWorkers(1, tc.fn).String()
-			for _, w := range []int{2, 4, 16} {
+			for _, w := range []int{2, 8, 16} {
 				if got := withWorkers(w, tc.fn).String(); got != serial {
 					t.Fatalf("workers=%d diverged from serial:\n--- serial ---\n%s--- workers=%d ---\n%s",
 						w, serial, w, got)

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"osnt/internal/sim"
+	"osnt/internal/stats"
+	"osnt/internal/wire"
+)
+
+// E11PairCounts sweeps generator→monitor pairs on the 40G card, heaviest
+// first for the worker pool.
+var E11PairCounts = []int{2, 1}
+
+// E11FrameSizes is the line-rate sweep at 40G: 64 B is the 59.52 Mpps
+// worst case, 1518 B the bandwidth-bound best case.
+var E11FrameSizes = []int{64, 512, 1518}
+
+// E11Rate40G is the first consumer of wire.Rate40G: the E9 pair rig
+// (see pairScalingSweep) with every port at 40 Gb/s, swept over gen→mon
+// loopback pairs and frame sizes at 100% offered load. One 64 B frame
+// occupies a 40G link for exactly 16.8 ns — 59.52 Mpps per port, four
+// times the 10G figure the paper demonstrates — and the MAC-level
+// capture must keep up packet for packet. The host(%) column shows how
+// little of that even a thinned (64 B snap) DMA path delivers, extending
+// E7's loss-limited-path story to the next rate generation.
+func E11Rate40G(duration sim.Duration) *stats.Table {
+	return pairScalingSweep(
+		"E11: 40G ports — gen→mon pairs at 40 Gb/s line rate",
+		wire.Rate40G, E11PairCounts, E11FrameSizes, 0xe11, duration)
+}

@@ -9,6 +9,7 @@ import (
 	"osnt/internal/runner"
 	"osnt/internal/sim"
 	"osnt/internal/stats"
+	"osnt/internal/topo"
 	"osnt/internal/wire"
 )
 
@@ -30,32 +31,45 @@ var E9FrameSizes = []int{64, 256, 1518}
 // how much of it the loss-limited DMA path (64 B thinning) also
 // delivered, tying the scaling story back to E7.
 func E9PortScaling(duration sim.Duration) *stats.Table {
+	return pairScalingSweep(
+		"E9: multi-port scaling — N gen→mon port pairs at line rate",
+		wire.Rate10G, E9PairCounts, E9FrameSizes, 0xe9, duration)
+}
+
+// pairScalingSweep is the gen→mon pair rig shared by E9 (10G) and E11
+// (40G): one card with 2N ports, N loopback pairs, every generator at
+// 100% of line rate, capture thinned to 64 B. The `ok` column checks
+// that aggregate MAC capture stays within 0.1% of pairs × line rate.
+func pairScalingSweep(title string, rate wire.Rate, pairCounts, frameSizes []int, seedBase uint64, duration sim.Duration) *stats.Table {
 	if duration == 0 {
 		duration = 2 * sim.Millisecond
 	}
 	tbl := &stats.Table{
-		Title:   "E9: multi-port scaling — N gen→mon port pairs at line rate",
+		Title:   title,
 		Columns: []string{"pairs", "frame(B)", "offered(Mpps)", "mac-rx(Mpps)", "agg(Gb/s)", "host(%)", "ok"},
 	}
-	points := len(E9PairCounts) * len(E9FrameSizes)
+	points := len(pairCounts) * len(frameSizes)
 	tbl.Rows = sweeper().Rows(points, func(i int) [][]string {
-		pairs := E9PairCounts[i/len(E9FrameSizes)]
-		fs := E9FrameSizes[i%len(E9FrameSizes)]
+		pairs := pairCounts[i/len(frameSizes)]
+		fs := frameSizes[i%len(frameSizes)]
 		e := sim.NewEngine()
-		card := netfpga.New(e, netfpga.Config{Ports: 2 * pairs})
+		b := topo.New().Tester("osnt", netfpga.Config{Ports: 2 * pairs, Rate: rate})
+		for p := 0; p < pairs; p++ {
+			b.Link(osntPorts[2*p], osntPorts[2*p+1])
+		}
+		t := b.MustBuild(e)
 		gens := make([]*gen.Generator, pairs)
 		mons := make([]*mon.Monitor, pairs)
 		for p := 0; p < pairs; p++ {
-			txp, rxp := card.Port(2*p), card.Port(2*p+1)
-			txp.SetLink(wire.NewLink(e, wire.Rate10G, 0, rxp))
-			mons[p] = mon.Attach(rxp, mon.Config{SnapLen: 64})
+			txp := t.Port(osntPorts[2*p])
+			mons[p] = mon.Attach(t.Port(osntPorts[2*p+1]), mon.Config{SnapLen: 64})
 			spec := probeSpec
 			spec.SrcPort = uint16(5000 + p)
 			g, err := gen.New(txp, gen.Config{
 				Source:  &gen.UDPFlowSource{Spec: spec, FrameSize: fs},
-				Spacing: gen.CBRForLoad(fs, wire.Rate10G, 1.0),
+				Spacing: gen.CBRForLoad(fs, rate, 1.0),
 				Pool:    wire.DefaultPool,
-				Seed:    runner.PointSeed(0xe9, i*16+p),
+				Seed:    runner.PointSeed(seedBase, i*16+p),
 			})
 			if err != nil {
 				panic(err)
@@ -85,7 +99,7 @@ func E9PortScaling(duration sim.Duration) *stats.Table {
 		}
 		// Linear scaling check: aggregate MAC capture within 0.1% of
 		// pairs × theoretical line rate.
-		ok := rxMpps*1e6 > wire.MaxPPS(fs, wire.Rate10G)*float64(pairs)*0.999
+		ok := rxMpps*1e6 > wire.MaxPPS(fs, rate)*float64(pairs)*0.999
 		return [][]string{{
 			fmt.Sprintf("%d", pairs),
 			fmt.Sprintf("%d", fs),

@@ -1,12 +1,14 @@
 // Package experiments regenerates every quantitative claim of the paper
-// (DESIGN.md's per-experiment index, E1–E8) plus the E9 multi-port
-// scaling sweep. Each driver builds its topology from scratch, runs the
-// workload in virtual time and returns a printable table whose shape can
-// be compared against the paper; the cmd/osnt-bench binary and the
-// repository-level benchmarks are thin wrappers around these functions.
-// Sweep points run on the internal/runner worker pool (see Workers) and
-// draw per-packet frames from a shared wire.Pool, so regenerating the
-// full evaluation costs neither serial wall time nor per-packet garbage.
+// (DESIGN.md's per-experiment index, E1–E8) plus the scaling sweeps the
+// testbed enables beyond it (E9 multi-port, E10 tester mesh, E11 40G
+// ports). Each driver declares its rig as an internal/topo scenario
+// graph, runs the workload in virtual time and returns a printable table
+// whose shape can be compared against the paper; the cmd/osnt-bench
+// binary and the repository-level benchmarks are thin wrappers around
+// these functions. Sweep points run on the internal/runner worker pool
+// (see Workers) and draw per-packet frames from a shared wire.Pool, so
+// regenerating the full evaluation costs neither serial wall time nor
+// per-packet garbage.
 package experiments
 
 import (
@@ -25,6 +27,7 @@ import (
 	"osnt/internal/stats"
 	"osnt/internal/switchsim"
 	"osnt/internal/timing"
+	"osnt/internal/topo"
 	"osnt/internal/wire"
 )
 
@@ -38,6 +41,23 @@ var FrameSizes = []int{64, 128, 256, 512, 1024, 1280, 1518}
 var Workers int
 
 func sweeper() *runner.Runner { return runner.New(Workers) }
+
+// osntPorts and sinkNames are preformatted topology references: tight
+// sweeps build one scenario graph per point and must not pay a
+// fmt.Sprintf per port on top of it.
+var (
+	osntPorts [16]string
+	sinkNames [4]string
+)
+
+func init() {
+	for i := range osntPorts {
+		osntPorts[i] = fmt.Sprintf("osnt:%d", i)
+	}
+	for i := range sinkNames {
+		sinkNames[i] = fmt.Sprintf("sink%d", i)
+	}
+}
 
 var probeSpec = packet.UDPSpec{
 	SrcMAC:  packet.MAC{0x02, 0x05, 0x17, 0, 0, 0x01},
@@ -64,19 +84,16 @@ func E1LineRate(duration sim.Duration) *stats.Table {
 		fs := FrameSizes[i/len(portCounts)]
 		nports := portCounts[i%len(portCounts)]
 		e := sim.NewEngine()
-		card := netfpga.New(e, netfpga.Config{})
-		var gens []*gen.Generator
-		delivered := make([]uint64, nports)
+		b := topo.New().Tester("osnt", netfpga.Config{})
 		for p := 0; p < nports; p++ {
-			p := p
-			sink := wire.EndpointFunc(func(f *wire.Frame, _, _ sim.Time) {
-				delivered[p]++
-				f.Release()
-			})
-			card.Port(p).SetLink(wire.NewLink(e, wire.Rate10G, 0, sink))
+			b.Sink(sinkNames[p]).Link(osntPorts[p], sinkNames[p])
+		}
+		t := b.MustBuild(e)
+		gens := make([]*gen.Generator, 0, nports)
+		for p := 0; p < nports; p++ {
 			spec := probeSpec
 			spec.SrcPort = uint16(5000 + p)
-			g, err := gen.New(card.Port(p), gen.Config{
+			g, err := gen.New(t.Port(osntPorts[p]), gen.Config{
 				Source:  &gen.UDPFlowSource{Spec: spec, FrameSize: fs},
 				Spacing: gen.CBRForLoad(fs, wire.Rate10G, 1.0),
 				Pool:    wire.DefaultPool,
@@ -92,8 +109,8 @@ func E1LineRate(duration sim.Duration) *stats.Table {
 			g.Stop()
 		}
 		var total uint64
-		for _, d := range delivered {
-			total += d
+		for p := 0; p < nports; p++ {
+			total += t.Sink(sinkNames[p]).Received().Packets
 		}
 		perPort := float64(total) / float64(nports) / duration.Seconds()
 		theo := wire.MaxPPS(fs, wire.Rate10G)
@@ -161,12 +178,16 @@ func absDur(d sim.Duration) sim.Duration {
 // E3Topology builds the Demo Part I rig: OSNT port 0 → legacy switch →
 // OSNT port 1, with station MACs pre-learned, returning the device.
 func E3Topology(e *sim.Engine, swCfg switchsim.Config) (*core.Device, *switchsim.Switch) {
-	dev := core.NewDevice(e, netfpga.Config{})
-	sw := switchsim.New(e, swCfg)
-	dev.Card.Port(0).SetLink(wire.NewLink(e, wire.Rate10G, 0, sw.Port(0)))
-	sw.Port(1).SetLink(wire.NewLink(e, wire.Rate10G, 0, dev.Card.Port(1)))
-	dev.Card.Port(1).SetLink(wire.NewLink(e, wire.Rate10G, 0, sw.Port(1)))
-	// Teach the switch both stations.
+	t := topo.New().
+		Tester("osnt", netfpga.Config{}).
+		DUT("sw", swCfg).
+		Link("osnt:0", "sw:0").
+		Duplex("sw:1", "osnt:1").
+		MustBuild(e)
+	dev, sw := t.Tester("osnt"), t.DUT("sw")
+	// Teach the switch the capture-side station with a real warm-up frame
+	// (the paper's rig does the same; the generator-side station is
+	// learned from the first probe).
 	teach := probeSpec
 	teach.SrcMAC, teach.DstMAC = probeSpec.DstMAC, probeSpec.SrcMAC
 	teach.FrameSize = 64
@@ -226,20 +247,28 @@ func E4FlowModLatency() *stats.Table {
 		Title:   "E4: flow_mod batch latency — control plane (barrier) vs data plane (first packet)",
 		Columns: []string{"batch", "control(ms)", "data p50(ms)", "data max(ms)", "confirmed"},
 	}
-	for _, n := range []int{1, 8, 32, 128, 512} {
+	// Largest batch first: it dominates the sweep's serial cost, so the
+	// worker pool starts the long pole immediately.
+	batches := []int{512, 128, 32, 8, 1}
+	rows := sweeper().Rows(len(batches), func(i int) [][]string {
+		n := batches[i]
 		r := oflops.NewRunner(oflops.Config{Timeout: 10 * sim.Second})
 		m := &oflops.FlowInsertLatency{Rules: n}
 		if err := r.Run(m); err != nil {
 			panic(err)
 		}
 		h, seen := m.DataLatencies()
-		tbl.AddRow(
+		return [][]string{{
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.3f", m.ControlLatency().Seconds()*1e3),
 			fmt.Sprintf("%.3f", float64(h.Percentile(50))/1e9),
 			fmt.Sprintf("%.3f", float64(h.Max())/1e9),
 			fmt.Sprintf("%d/%d", seen, n),
-		)
+		}}
+	})
+	// Present in ascending batch order, as the paper's figure does.
+	for i := len(rows) - 1; i >= 0; i-- {
+		tbl.Rows = append(tbl.Rows, rows[i])
 	}
 	return tbl
 }
@@ -251,31 +280,33 @@ func E5Consistency() *stats.Table {
 		Title:   "E5: forwarding consistency during table updates (old-marker packets after barrier)",
 		Columns: []string{"rules", "hw-lag", "old-after-barrier", "window(ms)", "old-pkts", "new-pkts"},
 	}
-	for _, n := range []int{64, 256, 512} {
-		for _, lag := range []sim.Duration{sim.Nanosecond, 1500 * sim.Microsecond} {
-			r := oflops.NewRunner(oflops.Config{
-				Timeout: 20 * sim.Second,
-				Switch:  ofswitch.Config{HWInstallDelay: lag},
-			})
-			m := &oflops.ForwardingConsistency{Rules: n}
-			if err := r.Run(m); err != nil {
-				panic(err)
-			}
-			res := m.Result()
-			lagName := "none"
-			if lag > sim.Microsecond {
-				lagName = lag.String()
-			}
-			tbl.AddRow(
-				fmt.Sprintf("%d", n),
-				lagName,
-				fmt.Sprintf("%d", res.OldAfterBarrier),
-				fmt.Sprintf("%.3f", res.TransitionWindow.Seconds()*1e3),
-				fmt.Sprintf("%d", res.OldTotal),
-				fmt.Sprintf("%d", res.NewTotal),
-			)
+	ruleCounts := []int{64, 256, 512}
+	lags := []sim.Duration{sim.Nanosecond, 1500 * sim.Microsecond}
+	tbl.Rows = sweeper().Rows(len(ruleCounts)*len(lags), func(i int) [][]string {
+		n := ruleCounts[i/len(lags)]
+		lag := lags[i%len(lags)]
+		r := oflops.NewRunner(oflops.Config{
+			Timeout: 20 * sim.Second,
+			Switch:  ofswitch.Config{HWInstallDelay: lag},
+		})
+		m := &oflops.ForwardingConsistency{Rules: n}
+		if err := r.Run(m); err != nil {
+			panic(err)
 		}
-	}
+		res := m.Result()
+		lagName := "none"
+		if lag > sim.Microsecond {
+			lagName = lag.String()
+		}
+		return [][]string{{
+			fmt.Sprintf("%d", n),
+			lagName,
+			fmt.Sprintf("%d", res.OldAfterBarrier),
+			fmt.Sprintf("%.3f", res.TransitionWindow.Seconds()*1e3),
+			fmt.Sprintf("%d", res.OldTotal),
+			fmt.Sprintf("%d", res.NewTotal),
+		}}
+	})
 	return tbl
 }
 
@@ -360,11 +391,13 @@ func E7CapturePath(duration sim.Duration) *stats.Table {
 		load := loads[i/len(pipes)]
 		p := pipes[i%len(pipes)]
 		e := sim.NewEngine()
-		tx := netfpga.New(e, netfpga.Config{})
-		rx := netfpga.New(e, netfpga.Config{})
-		tx.Port(0).SetLink(wire.NewLink(e, wire.Rate10G, 0, rx.Port(0)))
-		monitor := mon.Attach(rx.Port(0), p.cfg)
-		g, err := gen.New(tx.Port(0), gen.Config{
+		t := topo.New().
+			Tester("tx", netfpga.Config{}).
+			Tester("rx", netfpga.Config{}).
+			Link("tx:0", "rx:0").
+			MustBuild(e)
+		monitor := mon.Attach(t.Port("rx:0"), p.cfg)
+		g, err := gen.New(t.Port("tx:0"), gen.Config{
 			Source:  &gen.UDPFlowSource{Spec: probeSpec, FrameSize: 1518},
 			Spacing: gen.CBRForLoad(1518, wire.Rate10G, load),
 			Pool:    wire.DefaultPool,
@@ -395,7 +428,9 @@ func E8ControlUnderLoad() *stats.Table {
 		Title:   "E8: OpenFlow echo RTT vs dataplane load (CPU-coupled switch)",
 		Columns: []string{"load(%)", "rtt mean(µs)", "rtt p99(µs)", "rtt max(µs)"},
 	}
-	for _, load := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
+	loads := []float64{0, 0.25, 0.5, 0.75, 0.9}
+	tbl.Rows = sweeper().Rows(len(loads), func(i int) [][]string {
+		load := loads[i]
 		r := oflops.NewRunner(oflops.Config{
 			Timeout: 10 * sim.Second,
 			Switch:  ofswitch.Config{DataplaneCPUTax: 150 * sim.Nanosecond},
@@ -405,13 +440,13 @@ func E8ControlUnderLoad() *stats.Table {
 			panic(err)
 		}
 		h := m.RTTs()
-		tbl.AddRow(
+		return [][]string{{
 			fmt.Sprintf("%.0f", load*100),
 			fmt.Sprintf("%.1f", h.Mean()/1e6),
 			fmt.Sprintf("%.1f", float64(h.Percentile(99))/1e6),
 			fmt.Sprintf("%.1f", float64(h.Max())/1e6),
-		)
-	}
+		}}
+	})
 	return tbl
 }
 
@@ -427,5 +462,7 @@ func All() []*stats.Table {
 		E7CapturePath(0),
 		E8ControlUnderLoad(),
 		E9PortScaling(0),
+		E10TesterMesh(0),
+		E11Rate40G(0),
 	}
 }

@@ -8,6 +8,7 @@ package netfpga
 import (
 	"fmt"
 
+	"osnt/internal/ring"
 	"osnt/internal/sim"
 	"osnt/internal/stats"
 	"osnt/internal/timing"
@@ -91,7 +92,7 @@ type Port struct {
 
 	// TX side.
 	txLink *wire.Link
-	txq    []*wire.Frame
+	txq    ring.FIFO[*wire.Frame]
 	txBusy bool
 	// OnTransmit fires when a frame is latched into the MAC, just before
 	// serialisation begins — the point where OSNT's generator embeds the
@@ -103,10 +104,9 @@ type Port struct {
 	// the MAC-latched receive timestamp.
 	OnReceive func(f *wire.Frame, at sim.Time, ts timing.Timestamp)
 
-	txStats  stats.Counter
-	rxStats  stats.Counter
-	txDrops  uint64
-	txQueued int
+	txStats stats.Counter
+	rxStats stats.Counter
+	txDrops uint64
 
 	// txDoneEv is the reusable MAC-idle event: at most one transmission
 	// is in flight per port, so one Event serves every frame.
@@ -137,26 +137,21 @@ func (p *Port) Enqueue(f *wire.Frame) bool {
 	if p.txLink == nil {
 		panic(fmt.Sprintf("netfpga: port %d transmit with no link attached", p.index))
 	}
-	if p.txQueued >= p.card.cfg.TxQueueCap {
+	if p.txq.Len() >= p.card.cfg.TxQueueCap {
 		p.txDrops++
 		p.card.Regs.Add(p.regTxDrops, 1)
 		return false
 	}
-	p.txq = append(p.txq, f)
-	p.txQueued++
+	p.txq.Push(f)
 	p.trySend()
 	return true
 }
 
 func (p *Port) trySend() {
-	if p.txBusy || len(p.txq) == 0 {
+	if p.txBusy || p.txq.Len() == 0 {
 		return
 	}
-	f := p.txq[0]
-	copy(p.txq, p.txq[1:])
-	p.txq[len(p.txq)-1] = nil
-	p.txq = p.txq[:len(p.txq)-1]
-	p.txQueued--
+	f := p.txq.Pop()
 
 	now := p.card.Engine.Now()
 	ts := p.card.Clock.Now(now)
@@ -206,7 +201,7 @@ func (p *Port) RxStats() stats.Counter { return p.rxStats }
 func (p *Port) TxDrops() uint64 { return p.txDrops }
 
 // TxQueueDepth returns the instantaneous TX queue occupancy.
-func (p *Port) TxQueueDepth() int { return p.txQueued }
+func (p *Port) TxQueueDepth() int { return p.txq.Len() }
 
 func (p *Port) regName(suffix string) string {
 	return fmt.Sprintf("port%d.%s", p.index, suffix)

@@ -17,7 +17,7 @@ import (
 	"osnt/internal/packet"
 	"osnt/internal/sim"
 	"osnt/internal/snmp"
-	"osnt/internal/wire"
+	"osnt/internal/topo"
 )
 
 // Context is the measurement environment handed to a module: the Figure 2
@@ -111,16 +111,15 @@ func NewRunner(cfg Config) *Runner {
 		cfg.Timeout = 30 * sim.Second
 	}
 	e := sim.NewEngine()
-	dev := core.NewDevice(e, netfpga.Config{})
-	sw := ofswitch.New(e, cfg.Switch)
-
-	// OSNT port 0 → switch port index 0 (OF port 1).
-	dev.Card.Port(0).SetLink(wire.NewLink(e, wire.Rate10G, 0, sw.Port(0)))
-	// Switch port index 1 (OF port 2) → OSNT port 1.
-	sw.Port(1).SetLink(wire.NewLink(e, wire.Rate10G, 0, dev.Card.Port(1)))
-	// Reverse cables so both sides are full duplex.
-	sw.Port(0).SetLink(wire.NewLink(e, wire.Rate10G, 0, dev.Card.Port(0)))
-	dev.Card.Port(1).SetLink(wire.NewLink(e, wire.Rate10G, 0, sw.Port(1)))
+	// OSNT port 0 ↔ switch port index 0 (OF port 1), OSNT port 1 ↔
+	// switch port index 1 (OF port 2), both full duplex.
+	t := topo.New().
+		Tester("osnt", netfpga.Config{}).
+		OFSwitch("sw", cfg.Switch).
+		Duplex("osnt:0", "sw:0").
+		Duplex("osnt:1", "sw:1").
+		MustBuild(e)
+	dev, sw := t.Tester("osnt"), t.OFSwitch("sw")
 
 	ctl := ofswitch.Connect(sw)
 

@@ -155,6 +155,9 @@ func New(e *sim.Engine, cfg Config) *Switch {
 // NumPorts returns the dataplane port count.
 func (s *Switch) NumPorts() int { return len(s.ports) }
 
+// Rate returns the per-port line rate.
+func (s *Switch) Rate() wire.Rate { return s.cfg.Rate }
+
 // Port returns port index i (OF port i+1).
 func (s *Switch) Port(i int) *Port { return s.ports[i] }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"osnt/internal/packet"
+	"osnt/internal/ring"
 	"osnt/internal/sim"
 	"osnt/internal/stats"
 	"osnt/internal/wire"
@@ -135,8 +136,22 @@ func New(e *sim.Engine, cfg Config) *Switch {
 	return s
 }
 
+// Learn seeds the station table without traffic, the programmatic
+// equivalent of the warm-up frames a real rig sends before measuring.
+// Topology builders use it so measurement windows start with a converged
+// FDB instead of a flood transient.
+func (s *Switch) Learn(mac packet.MAC, port int) {
+	if port < 0 || port >= len(s.ports) {
+		panic(fmt.Sprintf("switchsim: learn on port %d of %d", port, len(s.ports)))
+	}
+	s.fdb[mac] = port
+}
+
 // NumPorts returns the port count.
 func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// Rate returns the per-port line rate.
+func (s *Switch) Rate() wire.Rate { return s.cfg.Rate }
 
 // Port returns port i.
 func (s *Switch) Port(i int) *Port { return s.ports[i] }
@@ -178,8 +193,9 @@ func (s *Switch) receive(p *Port, f *wire.Frame, firstBit, lastBit sim.Time) {
 		}
 		start = d
 	}
-	if p.lookupPending >= s.cfg.LookupQueueCap {
+	if p.lookupQ.Len() >= s.cfg.LookupQueueCap {
 		s.lookupDrops++
+		f.Release() // dropped frames go back to their pool
 		return
 	}
 	f.SrcPort = p.index
@@ -195,17 +211,40 @@ func (s *Switch) receive(p *Port, f *wire.Frame, firstBit, lastBit sim.Time) {
 	}
 	done := start.Add(service)
 	p.lookupFreeAt = done
-	p.lookupPending++
 	ready := done.Add(s.cfg.PipelineLatency)
 
+	// Ready instants are monotonic per port (the lookup server is
+	// single-threaded and the pipeline delay constant), so the pending
+	// lookups form a FIFO drained by one reusable event per port instead
+	// of one Event + closure per packet.
+	p.lookupQ.Push(pendingLookup{f: f, inPort: p.index, readyAt: ready})
+	if p.lookupQ.Len() == 1 {
+		p.armLookup(ready)
+	}
+}
+
+// armLookup schedules the port's lookup-complete event at instant ready,
+// clamped to the present so backdated cut-through work stays causal.
+func (p *Port) armLookup(ready sim.Time) {
 	eventAt := ready
-	if now := s.Engine.Now(); eventAt < now {
+	if now := p.sw.Engine.Now(); eventAt < now {
 		eventAt = now
 	}
-	s.Engine.Schedule(eventAt, func() {
-		p.lookupPending--
-		s.decide(pendingLookup{f: f, inPort: p.index, readyAt: ready})
-	})
+	if p.lookupEv == nil {
+		p.lookupEv = p.sw.Engine.Schedule(eventAt, p.lookupDone)
+	} else {
+		p.sw.Engine.Reschedule(p.lookupEv, eventAt)
+	}
+}
+
+// lookupDone pops the head pending lookup, re-arms for the next one, and
+// hands the frame to the forwarding decision.
+func (p *Port) lookupDone() {
+	d := p.lookupQ.Pop()
+	if p.lookupQ.Len() > 0 {
+		p.armLookup(p.lookupQ.Peek().readyAt)
+	}
+	p.sw.decide(d)
 }
 
 // decide learns the source, looks up the destination, and hands the frame
@@ -213,6 +252,7 @@ func (s *Switch) receive(p *Port, f *wire.Frame, firstBit, lastBit sim.Time) {
 func (s *Switch) decide(p pendingLookup) {
 	var eth packet.Ethernet
 	if err := eth.DecodeFromBytes(p.f.Data); err != nil {
+		p.f.Release()
 		return // runt frame: dropped silently, as hardware would
 	}
 	if !eth.Src.IsMulticast() {
@@ -222,11 +262,14 @@ func (s *Switch) decide(p pendingLookup) {
 	if out, ok := s.fdb[eth.Dst]; ok && !eth.Dst.IsMulticast() {
 		if out != p.inPort {
 			s.ports[out].enqueue(p.f, earliest)
+		} else {
+			p.f.Release() // never hairpin out the ingress port
 		}
 		return
 	}
 	// Unknown unicast, multicast or broadcast: flood to every connected
-	// port except the ingress (link-less ports are down).
+	// port except the ingress (link-less ports are down). The egress
+	// queues take clones, so the ingress frame goes back to its pool.
 	s.floods++
 	for i, port := range s.ports {
 		if i == p.inPort || port.link == nil {
@@ -234,6 +277,7 @@ func (s *Switch) decide(p pendingLookup) {
 		}
 		port.enqueue(p.f.Clone(), earliest)
 	}
+	p.f.Release()
 }
 
 // Port is one switch interface.
@@ -241,15 +285,21 @@ type Port struct {
 	sw    *Switch
 	index int
 
-	link   *wire.Link
-	queue  []queued
+	link *wire.Link
+	// queue is the egress FIFO; entries are held by value and the backing
+	// array is recycled across packets, so steady-state egress queueing
+	// allocates nothing.
+	queue  ring.FIFO[queued]
 	busy   bool
+	txEv   *sim.Event // reusable: at most one transmission in flight
 	drops  uint64
 	egress stats.Counter
 
-	// Ingress lookup pipeline state.
-	lookupFreeAt  sim.Time
-	lookupPending int
+	// Ingress lookup pipeline state: a FIFO of frames whose lookup is in
+	// flight, drained by one reusable event (see lookupDone).
+	lookupFreeAt sim.Time
+	lookupQ      ring.FIFO[pendingLookup]
+	lookupEv     *sim.Event
 }
 
 type queued struct {
@@ -275,28 +325,26 @@ func (p *Port) Drops() uint64 { return p.drops }
 func (p *Port) Egress() stats.Counter { return p.egress }
 
 // QueueDepth returns the instantaneous egress queue occupancy.
-func (p *Port) QueueDepth() int { return len(p.queue) }
+func (p *Port) QueueDepth() int { return p.queue.Len() }
 
 func (p *Port) enqueue(f *wire.Frame, earliest sim.Time) {
 	if p.link == nil {
 		panic(fmt.Sprintf("switchsim: egress port %d has no link", p.index))
 	}
-	if len(p.queue) >= p.sw.cfg.EgressQueueCap {
+	if p.queue.Len() >= p.sw.cfg.EgressQueueCap {
 		p.drops++
+		f.Release()
 		return
 	}
-	p.queue = append(p.queue, queued{f: f, earliest: earliest})
+	p.queue.Push(queued{f: f, earliest: earliest})
 	p.trySend()
 }
 
 func (p *Port) trySend() {
-	if p.busy || len(p.queue) == 0 {
+	if p.busy || p.queue.Len() == 0 {
 		return
 	}
-	q := p.queue[0]
-	copy(p.queue, p.queue[1:])
-	p.queue[len(p.queue)-1] = queued{}
-	p.queue = p.queue[:len(p.queue)-1]
+	q := p.queue.Pop()
 
 	p.busy = true
 	end := p.link.TransmitAt(q.f, q.earliest)
@@ -306,8 +354,14 @@ func (p *Port) trySend() {
 	if now := p.sw.Engine.Now(); eventAt < now {
 		eventAt = now
 	}
-	p.sw.Engine.Schedule(eventAt, func() {
-		p.busy = false
-		p.trySend()
-	})
+	if p.txEv == nil {
+		p.txEv = p.sw.Engine.Schedule(eventAt, p.txDone)
+	} else {
+		p.sw.Engine.Reschedule(p.txEv, eventAt)
+	}
+}
+
+func (p *Port) txDone() {
+	p.busy = false
+	p.trySend()
 }

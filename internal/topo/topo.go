@@ -1,0 +1,470 @@
+// Package topo is the declarative topology layer: experiments describe a
+// measurement scenario as a graph of named nodes and port-to-port edges,
+// and the validating builder instantiates every device on one sim.Engine
+// and hands back named handles. Separating topology *description* from
+// device *construction* (the EvalNet split) turns each new scenario from
+// a bespoke page of SetLink calls into a few lines of graph:
+//
+//	t := topo.New().
+//		Tester("osnt", netfpga.Config{}).
+//		DUT("sw", switchsim.Config{}).
+//		Link("osnt:0", "sw:0").
+//		Duplex("osnt:1", "sw:1").
+//		MustBuild(engine)
+//	dev, sw := t.Tester("osnt"), t.DUT("sw")
+//
+// Node kinds are the vocabulary of the paper's rigs: a Tester is one OSNT
+// device (a simulated NetFPGA card plus host drivers, core.Device), a DUT
+// is a legacy switch under test (switchsim.Switch), an OFSwitch is an
+// OpenFlow switch (ofswitch.Switch), and a Sink is a terminal endpoint
+// that counts and releases whatever reaches it. Edges are unidirectional
+// "node:port" → "node:port" links with a wire.Rate and propagation delay;
+// Duplex declares the two directions of one cable at once.
+//
+// Build validates the graph before touching the engine: unknown or
+// duplicate node names, dangling edge endpoints, out-of-range ports,
+// transmit/receive port reuse (a port can head exactly one cable in each
+// direction), transmitting sinks, and rate mismatches between an edge and
+// the native port rate of either endpoint are all construction-time
+// errors, not silent miswirings.
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"osnt/internal/core"
+	"osnt/internal/netfpga"
+	"osnt/internal/ofswitch"
+	"osnt/internal/sim"
+	"osnt/internal/stats"
+	"osnt/internal/switchsim"
+	"osnt/internal/wire"
+)
+
+// kind discriminates node types.
+type kind int
+
+const (
+	kindTester kind = iota
+	kindDUT
+	kindOFSwitch
+	kindSink
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindTester:
+		return "tester"
+	case kindDUT:
+		return "dut"
+	case kindOFSwitch:
+		return "ofswitch"
+	default:
+		return "sink"
+	}
+}
+
+// node is one declared vertex of the scenario graph.
+type node struct {
+	name      string
+	kind      kind
+	testerCfg netfpga.Config
+	dutCfg    switchsim.Config
+	ofCfg     ofswitch.Config
+
+	// instantiated handles (one of these, post-Build). The sink lives in
+	// the node itself: one allocation per node, not two.
+	tester *core.Device
+	dut    *switchsim.Switch
+	of     *ofswitch.Switch
+	sink   Sink
+}
+
+// Edge is one unidirectional link of the scenario graph. From and To are
+// "node" or "node:port" references (the port defaults to 0).
+type Edge struct {
+	From, To string
+	// Rate is the link speed; 0 inherits the endpoints' native port rate
+	// (which must then agree).
+	Rate wire.Rate
+	// Delay is the propagation delay.
+	Delay sim.Duration
+}
+
+// Builder accumulates a scenario graph. Declaration order is preserved:
+// nodes are instantiated and edges wired in the order they were added, so
+// a topology description is also a deterministic construction recipe.
+type Builder struct {
+	nodes  []*node
+	byName map[string]*node
+	edges  []Edge
+	errs   []error
+	built  bool
+}
+
+// New returns an empty scenario graph. Capacities cover the common rigs
+// so declaring one costs a handful of allocations, cheap enough to build
+// a fresh graph per sweep point.
+func New() *Builder {
+	return &Builder{
+		byName: make(map[string]*node, 8),
+		nodes:  make([]*node, 0, 8),
+		edges:  make([]Edge, 0, 8),
+	}
+}
+
+func (b *Builder) addNode(n *node) *Builder {
+	if n.name == "" {
+		b.errs = append(b.errs, fmt.Errorf("topo: %s node with empty name", n.kind))
+		return b
+	}
+	if strings.Contains(n.name, ":") {
+		b.errs = append(b.errs, fmt.Errorf("topo: node name %q contains ':'", n.name))
+		return b
+	}
+	if _, dup := b.byName[n.name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("topo: duplicate node name %q", n.name))
+		return b
+	}
+	b.byName[n.name] = n
+	b.nodes = append(b.nodes, n)
+	return b
+}
+
+// Tester declares one OSNT tester (a simulated NetFPGA card plus host
+// drivers).
+func (b *Builder) Tester(name string, cfg netfpga.Config) *Builder {
+	return b.addNode(&node{name: name, kind: kindTester, testerCfg: cfg})
+}
+
+// DUT declares one legacy switch under test.
+func (b *Builder) DUT(name string, cfg switchsim.Config) *Builder {
+	return b.addNode(&node{name: name, kind: kindDUT, dutCfg: cfg})
+}
+
+// OFSwitch declares one OpenFlow switch under test.
+func (b *Builder) OFSwitch(name string, cfg ofswitch.Config) *Builder {
+	return b.addNode(&node{name: name, kind: kindOFSwitch, ofCfg: cfg})
+}
+
+// Sink declares a terminal endpoint that counts and releases every frame
+// delivered to it (port 0, receive only).
+func (b *Builder) Sink(name string) *Builder {
+	return b.addNode(&node{name: name, kind: kindSink})
+}
+
+// Link declares a unidirectional edge from → to at the endpoints' native
+// rate with zero delay.
+func (b *Builder) Link(from, to string) *Builder {
+	b.edges = append(b.edges, Edge{From: from, To: to})
+	return b
+}
+
+// LinkAt is Link with an explicit rate and propagation delay.
+func (b *Builder) LinkAt(from, to string, rate wire.Rate, delay sim.Duration) *Builder {
+	b.edges = append(b.edges, Edge{From: from, To: to, Rate: rate, Delay: delay})
+	return b
+}
+
+// Duplex declares the two unidirectional edges of one full-duplex cable
+// between a and c.
+func (b *Builder) Duplex(a, c string) *Builder {
+	return b.Link(a, c).Link(c, a)
+}
+
+// DuplexAt is Duplex with an explicit rate and propagation delay.
+func (b *Builder) DuplexAt(a, c string, rate wire.Rate, delay sim.Duration) *Builder {
+	return b.LinkAt(a, c, rate, delay).LinkAt(c, a, rate, delay)
+}
+
+// Add appends a pre-built Edge (the non-fluent spelling of Link/LinkAt).
+func (b *Builder) Add(e Edge) *Builder {
+	b.edges = append(b.edges, e)
+	return b
+}
+
+// endpoint is one resolved side of an edge.
+type endpoint struct {
+	n    *node
+	port int
+}
+
+// resolveRef parses a "node" or "node:port" reference against a name
+// index and range-checks the port against the instantiated device — the
+// single implementation of the reference grammar, shared by edge
+// validation and Topology.Port.
+func resolveRef(byName map[string]*node, ref string) (endpoint, error) {
+	name, portStr, hasPort := strings.Cut(ref, ":")
+	n, ok := byName[name]
+	if !ok {
+		return endpoint{}, fmt.Errorf("topo: reference to unknown node %q", name)
+	}
+	port := 0
+	if hasPort {
+		p, err := strconv.Atoi(portStr)
+		if err != nil || p < 0 {
+			return endpoint{}, fmt.Errorf("topo: bad port in reference %q", ref)
+		}
+		port = p
+	}
+	if port >= n.numPorts() {
+		return endpoint{}, fmt.Errorf("topo: %s %q has %d port(s), reference %q out of range",
+			n.kind, n.name, n.numPorts(), ref)
+	}
+	return endpoint{n: n, port: port}, nil
+}
+
+// numPorts is the instantiated device's port count; nodes are built
+// before edges are validated, so the device constructors' own config
+// defaulting is the single source of truth.
+func (n *node) numPorts() int {
+	switch n.kind {
+	case kindTester:
+		return n.tester.Card.NumPorts()
+	case kindDUT:
+		return n.dut.NumPorts()
+	case kindOFSwitch:
+		return n.of.NumPorts()
+	default:
+		return 1
+	}
+}
+
+// rate is the instantiated device's native per-port rate, or 0 when the
+// node accepts any rate (sinks).
+func (n *node) rate() wire.Rate {
+	switch n.kind {
+	case kindTester:
+		return n.tester.Card.Rate()
+	case kindDUT:
+		return n.dut.Rate()
+	case kindOFSwitch:
+		return n.of.Rate()
+	default:
+		return 0
+	}
+}
+
+// rxEndpoint returns the wire.Endpoint frames delivered to this node port
+// land on (valid after instantiation).
+func (n *node) rxEndpoint(port int) wire.Endpoint {
+	switch n.kind {
+	case kindTester:
+		return n.tester.Card.Port(port)
+	case kindDUT:
+		return n.dut.Port(port)
+	case kindOFSwitch:
+		return n.of.Port(port)
+	default:
+		return &n.sink
+	}
+}
+
+// setLink attaches the egress link to this node port (valid after
+// instantiation; sinks cannot transmit, which validation rejects first).
+func (n *node) setLink(port int, l *wire.Link) {
+	switch n.kind {
+	case kindTester:
+		n.tester.Card.Port(port).SetLink(l)
+	case kindDUT:
+		n.dut.Port(port).SetLink(l)
+	case kindOFSwitch:
+		n.of.Port(port).SetLink(l)
+	}
+}
+
+func validationError(errs []error) error {
+	msgs := make([]string, len(errs))
+	for i, err := range errs {
+		msgs[i] = err.Error()
+	}
+	return fmt.Errorf("topo: invalid scenario graph:\n  %s", strings.Join(msgs, "\n  "))
+}
+
+// Build validates the graph and instantiates it on engine e: every node
+// becomes a device, every edge a wire.Link. Node-declaration errors are
+// reported before anything is built; edge errors are reported all at
+// once (the devices already exist then, but nothing is wired and no
+// event is scheduled, so a failed Build leaves the engine inert). Build
+// is the builder's terminal operation: the resulting Topology owns the
+// node handles, so building the same graph on a second engine requires
+// declaring it again.
+func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
+	if b.built {
+		return nil, fmt.Errorf("topo: Build called twice on one Builder (declare the graph again for a second engine)")
+	}
+	if len(b.errs) > 0 {
+		return nil, validationError(b.errs)
+	}
+
+	// Instantiate nodes in declaration order before validating edges, so
+	// port counts and rates come from the devices themselves (the
+	// constructors' config defaulting is the single source of truth).
+	// Construction schedules nothing, so this order only fixes handle
+	// identity, never event timing.
+	for _, n := range b.nodes {
+		switch n.kind {
+		case kindTester:
+			n.tester = core.NewDevice(e, n.testerCfg)
+		case kindDUT:
+			n.dut = switchsim.New(e, n.dutCfg)
+		case kindOFSwitch:
+			n.of = ofswitch.New(e, n.ofCfg)
+		}
+	}
+
+	var errs []error
+	type resolved struct {
+		from, to endpoint
+		rate     wire.Rate
+		delay    sim.Duration
+	}
+	// Port-reuse detection scans the already-resolved edges: graphs are a
+	// few dozen edges at most, and a linear scan keeps the per-Build
+	// footprint small enough for tight sweep loops (one Build per point).
+	wires := make([]resolved, 0, len(b.edges))
+
+	for _, edge := range b.edges {
+		from, errF := resolveRef(b.byName, edge.From)
+		to, errT := resolveRef(b.byName, edge.To)
+		if errF != nil {
+			errs = append(errs, errF)
+		}
+		if errT != nil {
+			errs = append(errs, errT)
+		}
+		if errF != nil || errT != nil {
+			continue
+		}
+		if from.n.kind == kindSink {
+			errs = append(errs, fmt.Errorf("topo: sink %q cannot transmit (edge %s → %s)",
+				from.n.name, edge.From, edge.To))
+			continue
+		}
+		dup := false
+		for _, w := range wires {
+			if w.from == from {
+				errs = append(errs, fmt.Errorf("topo: transmit port %s:%d used by two edges",
+					from.n.name, from.port))
+				dup = true
+				break
+			}
+			if w.to == to {
+				errs = append(errs, fmt.Errorf("topo: receive port %s:%d fed by two edges",
+					to.n.name, to.port))
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+
+		// Resolve the link rate and demand agreement with both endpoints'
+		// native port rates: a 40G fibre into a 10G MAC is a miswiring.
+		rate := edge.Rate
+		for _, ep := range []endpoint{from, to} {
+			native := ep.n.rate()
+			if native == 0 {
+				continue
+			}
+			if rate == 0 {
+				rate = native
+			} else if rate != native {
+				errs = append(errs, fmt.Errorf("topo: edge %s → %s at %v, but %s %q ports run at %v",
+					edge.From, edge.To, rate, ep.n.kind, ep.n.name, native))
+			}
+		}
+		if rate == 0 {
+			rate = wire.Rate10G // sink-to-sink never happens; belt and braces
+		}
+		wires = append(wires, resolved{from: from, to: to, rate: rate, delay: edge.Delay})
+	}
+
+	if len(errs) > 0 {
+		return nil, validationError(errs)
+	}
+
+	for _, w := range wires {
+		w.from.n.setLink(w.from.port, wire.NewLink(e, w.rate, w.delay, w.to.n.rxEndpoint(w.to.port)))
+	}
+
+	// The topology takes over the builder's name index; the built flag
+	// keeps a stale Builder from re-pointing these handles elsewhere.
+	b.built = true
+	return &Topology{Engine: e, byName: b.byName}, nil
+}
+
+// MustBuild is Build, panicking on validation errors — the spelling for
+// experiment rigs whose graphs are static.
+func (b *Builder) MustBuild(e *sim.Engine) *Topology {
+	t, err := b.Build(e)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Topology is an instantiated scenario graph: named handles onto the
+// devices living on one engine.
+type Topology struct {
+	Engine *sim.Engine
+
+	byName map[string]*node
+}
+
+func (t *Topology) node(name string, k kind) *node {
+	n, ok := t.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("topo: no node %q", name))
+	}
+	if n.kind != k {
+		panic(fmt.Sprintf("topo: node %q is a %s, not a %s", name, n.kind, k))
+	}
+	return n
+}
+
+// Tester returns the named OSNT tester.
+func (t *Topology) Tester(name string) *core.Device { return t.node(name, kindTester).tester }
+
+// DUT returns the named legacy switch.
+func (t *Topology) DUT(name string) *switchsim.Switch { return t.node(name, kindDUT).dut }
+
+// OFSwitch returns the named OpenFlow switch.
+func (t *Topology) OFSwitch(name string) *ofswitch.Switch { return t.node(name, kindOFSwitch).of }
+
+// Sink returns the named sink.
+func (t *Topology) Sink(name string) *Sink { return &t.node(name, kindSink).sink }
+
+// Port resolves a "tester:port" reference to the card port, the handle
+// gen.New and mon.Attach take. References are held to exactly the
+// grammar Build validates (see resolveRef); a bad one panics with a
+// topo-level message.
+func (t *Topology) Port(ref string) *netfpga.Port {
+	ep, err := resolveRef(t.byName, ref)
+	if err != nil {
+		panic(err.Error())
+	}
+	if ep.n.kind != kindTester {
+		panic(fmt.Sprintf("topo: node %q is a %s, not a tester", ep.n.name, ep.n.kind))
+	}
+	return ep.n.tester.Card.Port(ep.port)
+}
+
+// Sink is a terminal endpoint: it counts every delivered frame and
+// releases it back to its pool. Experiments read the counters after the
+// run.
+type Sink struct {
+	received stats.Counter
+}
+
+// Receive implements wire.Endpoint.
+func (s *Sink) Receive(f *wire.Frame, _, _ sim.Time) {
+	s.received.Add(wire.WireBytes(f.Size))
+	f.Release()
+}
+
+// Received returns counters over the delivered frames (wire bytes).
+func (s *Sink) Received() stats.Counter { return s.received }

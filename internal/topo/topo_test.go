@@ -1,0 +1,244 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"osnt/internal/gen"
+	"osnt/internal/netfpga"
+	"osnt/internal/ofswitch"
+	"osnt/internal/packet"
+	"osnt/internal/sim"
+	"osnt/internal/switchsim"
+	"osnt/internal/wire"
+)
+
+var testSpec = packet.UDPSpec{
+	SrcMAC:  packet.MAC{0x02, 0x05, 0x17, 0, 0, 0x01},
+	DstMAC:  packet.MAC{0x02, 0x05, 0x17, 0, 0, 0x02},
+	SrcIP:   packet.IP4{10, 0, 0, 1},
+	DstIP:   packet.IP4{10, 0, 0, 2},
+	SrcPort: 5000, DstPort: 7000,
+}
+
+// wantBuildError asserts Build fails and the message mentions every
+// fragment (validation must name the offending nodes/ports).
+func wantBuildError(t *testing.T, b *Builder, fragments ...string) {
+	t.Helper()
+	_, err := b.Build(sim.NewEngine())
+	if err == nil {
+		t.Fatal("Build succeeded, want validation error")
+	}
+	for _, frag := range fragments {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %q", err, frag)
+		}
+	}
+}
+
+func TestValidationDanglingEdge(t *testing.T) {
+	wantBuildError(t,
+		New().Tester("osnt", netfpga.Config{}).Link("osnt:0", "ghost:1"),
+		"unknown node", "ghost")
+}
+
+func TestValidationPortOutOfRange(t *testing.T) {
+	wantBuildError(t,
+		New().Tester("osnt", netfpga.Config{}).Sink("s").Link("osnt:4", "s"),
+		"out of range", "osnt:4")
+	wantBuildError(t,
+		New().Tester("a", netfpga.Config{Ports: 2}).DUT("sw", switchsim.Config{}).Link("a:0", "sw:7"),
+		"out of range", "sw:7")
+}
+
+func TestValidationTransmitPortReuse(t *testing.T) {
+	wantBuildError(t,
+		New().Tester("osnt", netfpga.Config{}).Sink("a").Sink("b").
+			Link("osnt:0", "a").Link("osnt:0", "b"),
+		"transmit port osnt:0")
+}
+
+func TestValidationReceivePortReuse(t *testing.T) {
+	wantBuildError(t,
+		New().Tester("osnt", netfpga.Config{}).Sink("a").
+			Link("osnt:0", "a").Link("osnt:1", "a"),
+		"receive port a:0")
+}
+
+func TestValidationRateMismatch(t *testing.T) {
+	// Explicit 40G edge into a 10G DUT port.
+	wantBuildError(t,
+		New().Tester("osnt", netfpga.Config{Rate: wire.Rate40G}).
+			DUT("sw", switchsim.Config{}).
+			LinkAt("osnt:0", "sw:0", wire.Rate40G, 0),
+		"40Gb/s", `dut "sw"`)
+	// Inherited rates that disagree between the endpoints.
+	wantBuildError(t,
+		New().Tester("osnt", netfpga.Config{Rate: wire.Rate40G}).
+			DUT("sw", switchsim.Config{}).
+			Link("osnt:0", "sw:0"),
+		"40Gb/s", "10Gb/s")
+}
+
+func TestValidationSinkCannotTransmit(t *testing.T) {
+	wantBuildError(t,
+		New().Tester("osnt", netfpga.Config{}).Sink("s").Link("s", "osnt:0"),
+		"sink", "cannot transmit")
+}
+
+func TestValidationDuplicateAndBadNames(t *testing.T) {
+	wantBuildError(t,
+		New().Tester("x", netfpga.Config{}).DUT("x", switchsim.Config{}),
+		"duplicate node name")
+	wantBuildError(t, New().Sink("a:b"), "contains ':'")
+	wantBuildError(t, New().Sink(""), "empty name")
+}
+
+func TestValidationReportsAllErrorsAtOnce(t *testing.T) {
+	wantBuildError(t,
+		New().Tester("osnt", netfpga.Config{}).
+			Link("osnt:0", "ghost").
+			Link("osnt:9", "osnt:1"),
+		"ghost", "osnt:9")
+}
+
+// The builder must wire a working rig: generator traffic through a DUT
+// arrives at the far tester port, and sinks count what reaches them.
+func TestBuildWiresWorkingTopology(t *testing.T) {
+	e := sim.NewEngine()
+	tp := New().
+		Tester("osnt", netfpga.Config{}).
+		DUT("sw", switchsim.Config{}).
+		Sink("drop").
+		Link("osnt:0", "sw:0").
+		Duplex("sw:1", "osnt:1").
+		Link("osnt:2", "drop").
+		MustBuild(e)
+
+	sw := tp.DUT("sw")
+	sw.Learn(testSpec.DstMAC, 1)
+
+	g, err := gen.New(tp.Port("osnt:0"), gen.Config{
+		Source:  &gen.UDPFlowSource{Spec: testSpec, FrameSize: 64},
+		Spacing: gen.CBRForLoad(64, wire.Rate10G, 0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(0)
+	e.RunUntil(sim.Time(100 * sim.Microsecond))
+	g.Stop()
+	e.Run()
+
+	sent := g.Sent().Packets
+	if sent == 0 {
+		t.Fatal("generator sent nothing")
+	}
+	if got := tp.Port("osnt:1").RxStats().Packets; got != sent {
+		t.Fatalf("tester port 1 received %d of %d packets through the DUT", got, sent)
+	}
+
+	// Sinks count and release.
+	g2, err := gen.New(tp.Port("osnt:2"), gen.Config{
+		Source:  &gen.UDPFlowSource{Spec: testSpec, FrameSize: 64},
+		Spacing: gen.CBRForLoad(64, wire.Rate10G, 1.0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.Start(e.Now())
+	e.RunFor(10 * sim.Microsecond)
+	g2.Stop()
+	e.Run()
+	if got := tp.Sink("drop").Received().Packets; got != g2.Sent().Packets {
+		t.Fatalf("sink received %d of %d", got, g2.Sent().Packets)
+	}
+}
+
+// An OFSwitch node wires the oflops-style rig: the edge inherits the
+// switch's native rate and the ports implement wire.Endpoint.
+func TestBuildOFSwitchNode(t *testing.T) {
+	e := sim.NewEngine()
+	tp := New().
+		Tester("osnt", netfpga.Config{}).
+		OFSwitch("sw", ofswitch.Config{}).
+		Duplex("osnt:0", "sw:0").
+		Duplex("osnt:1", "sw:1").
+		MustBuild(e)
+	if tp.OFSwitch("sw").NumPorts() != 4 {
+		t.Fatal("OF switch not instantiated with default ports")
+	}
+	if tp.Tester("osnt").Card.Port(0).Link() == nil {
+		t.Fatal("tester port 0 has no egress link")
+	}
+}
+
+// Handle lookups with the wrong name or kind are programming errors and
+// must panic loudly rather than return nil handles.
+func TestHandlePanics(t *testing.T) {
+	e := sim.NewEngine()
+	tp := New().Tester("osnt", netfpga.Config{}).MustBuild(e)
+	for name, fn := range map[string]func(){
+		"unknown node": func() { tp.Tester("nope") },
+		"wrong kind":   func() { tp.DUT("osnt") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Build is terminal: a second Build on the same Builder must fail rather
+// than silently re-pointing the first Topology's handles at a second
+// engine's devices.
+func TestBuildIsTerminal(t *testing.T) {
+	b := New().Tester("osnt", netfpga.Config{})
+	t1, err := b.Build(sim.NewEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := t1.Tester("osnt")
+	if _, err := b.Build(sim.NewEngine()); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("second Build: err = %v, want reuse error", err)
+	}
+	if t1.Tester("osnt") != dev {
+		t.Fatal("first topology's handle changed")
+	}
+}
+
+// Topology.Port holds references to the same grammar Build validates.
+func TestPortReferenceStrictness(t *testing.T) {
+	tp := New().Tester("osnt", netfpga.Config{}).MustBuild(sim.NewEngine())
+	for _, ref := range []string{"osnt:-1", "osnt:", "osnt:x", "osnt:4"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Port(%q): no panic", ref)
+				}
+			}()
+			tp.Port(ref)
+		}()
+	}
+	if tp.Port("osnt") != tp.Port("osnt:0") {
+		t.Fatal("bare node reference is not port 0")
+	}
+}
+
+// A 40G scenario builds end to end: the first consumer of wire.Rate40G
+// outside the experiments.
+func TestBuild40GLoopback(t *testing.T) {
+	e := sim.NewEngine()
+	tp := New().
+		Tester("osnt", netfpga.Config{Ports: 2, Rate: wire.Rate40G}).
+		Link("osnt:0", "osnt:1").
+		MustBuild(e)
+	l := tp.Port("osnt:0").Link()
+	if l == nil || l.Rate != wire.Rate40G {
+		t.Fatalf("loopback link rate = %v, want 40G", l.Rate)
+	}
+}

@@ -9,6 +9,7 @@ package wire
 import (
 	"fmt"
 
+	"osnt/internal/ring"
 	"osnt/internal/sim"
 )
 
@@ -159,29 +160,37 @@ type Link struct {
 	txFrames  uint64
 	txBytes   uint64 // wire bytes including overhead
 
-	// free recycles delivery records (and their engine events) so the
-	// steady-state per-frame delivery costs no allocation.
-	free []*delivery
+	// pending is the in-flight FIFO: frames serialised but not yet
+	// delivered, in departure (= arrival) order. One reusable event —
+	// armed at the head's arrival instant — drains it, so a burst of N
+	// back-to-back frames occupies a single event-heap slot instead of N.
+	pending   ring.FIFO[inflight]
+	deliverEv *sim.Event
 }
 
-// delivery is one in-flight frame on the link: the scheduled event that
-// hands it to the peer. The struct, its Event, and its callback closure
-// are created once and reused for every subsequent frame that finds the
-// record on the link's free list.
-type delivery struct {
-	l                 *Link
+// inflight is one frame in flight on the link, held by value in the
+// pending FIFO.
+type inflight struct {
 	f                 *Frame
 	firstBit, lastBit sim.Time
-	ev                *sim.Event
 }
 
-func (d *delivery) fire() {
-	f, firstBit, lastBit := d.f, d.firstBit, d.lastBit
-	d.f = nil
-	// Recycle before the callback: if the peer transmits on this same
-	// link re-entrantly it can reuse this record immediately.
-	d.l.free = append(d.l.free, d)
-	d.l.Peer.Receive(f, firstBit, lastBit)
+// deliver is the single delivery-event callback: it hands the head frame
+// to the peer and re-arms for the next pending frame, if any.
+func (l *Link) deliver() {
+	d := l.pending.Pop()
+	// Re-arm before the callback: if the peer transmits on this same link
+	// re-entrantly the armed-iff-pending invariant must already hold.
+	// Arrival times are non-decreasing along the FIFO, so the next head's
+	// instant is never in the past beyond the clamp below.
+	if l.pending.Len() > 0 {
+		eventAt := l.pending.Peek().lastBit
+		if now := l.Engine.Now(); eventAt < now {
+			eventAt = now
+		}
+		l.Engine.Reschedule(l.deliverEv, eventAt)
+	}
+	l.Peer.Receive(d.f, d.firstBit, d.lastBit)
 }
 
 // NewLink builds a link on engine e at rate r with propagation delay d,
@@ -215,27 +224,28 @@ func (l *Link) TransmitAt(f *Frame, earliest sim.Time) sim.Time {
 	if l.Peer != nil {
 		firstBit := start.Add(l.Delay)
 		lastBit := end.Add(l.Delay)
-		eventAt := lastBit
-		if now := l.Engine.Now(); eventAt < now {
-			eventAt = now
-		}
-		var d *delivery
-		if n := len(l.free); n > 0 {
-			d = l.free[n-1]
-			l.free[n-1] = nil
-			l.free = l.free[:n-1]
-		} else {
-			d = &delivery{l: l}
-		}
-		d.f, d.firstBit, d.lastBit = f, firstBit, lastBit
-		if d.ev == nil {
-			d.ev = l.Engine.Schedule(eventAt, d.fire)
-		} else {
-			l.Engine.Reschedule(d.ev, eventAt)
+		l.pending.Push(inflight{f: f, firstBit: firstBit, lastBit: lastBit})
+		// Frames joining a burst ride the already-armed event; only the
+		// first frame of a burst arms it.
+		if l.pending.Len() == 1 {
+			eventAt := lastBit
+			if now := l.Engine.Now(); eventAt < now {
+				eventAt = now
+			}
+			if l.deliverEv == nil {
+				l.deliverEv = l.Engine.Schedule(eventAt, l.deliver)
+			} else {
+				l.Engine.Reschedule(l.deliverEv, eventAt)
+			}
 		}
 	}
 	return end
 }
+
+// InFlight returns the number of frames serialised but not yet delivered
+// to the peer. However deep the burst, it is drained by a single pending
+// engine event.
+func (l *Link) InFlight() int { return l.pending.Len() }
 
 // Busy reports whether the link is still serialising at instant t.
 func (l *Link) Busy(t sim.Time) bool { return l.busyUntil > t }

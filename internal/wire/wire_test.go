@@ -106,6 +106,69 @@ func TestLinkBackToBack(t *testing.T) {
 	}
 }
 
+func TestSerializationTime40G(t *testing.T) {
+	// One byte takes 200ps at 40G.
+	if got := Rate40G.ByteTime(); got != 200 {
+		t.Fatalf("40G byte time = %dps, want 200", got)
+	}
+	// 64B + 20B overhead = 84B = 16.8ns at 40G, a quarter of the 10G slot.
+	if got := SerializationTime(64, Rate40G); got != 16800 {
+		t.Fatalf("64B@40G = %vps, want 16800", int64(got))
+	}
+	if got := SerializationTime(1518, Rate40G); got != 307600 {
+		t.Fatalf("1518B@40G = %vps, want 307600 (1538B × 200ps)", int64(got))
+	}
+	// 59.52 Mpps for 64B at 40G — 4× the canonical 14.88M figure.
+	got := MaxPPS(64, Rate40G)
+	if got < 59_523_000 || got > 59_524_000 {
+		t.Fatalf("MaxPPS(64,40G) = %v, want ≈59.52M", got)
+	}
+	if MaxPPS(64, Rate40G) != 4*MaxPPS(64, Rate10G) {
+		t.Fatal("40G line rate is not exactly 4× the 10G line rate")
+	}
+	if Rate40G.String() != "40Gb/s" {
+		t.Fatalf("got %q", Rate40G.String())
+	}
+}
+
+// A burst of back-to-back frames must occupy a single event-heap slot:
+// the link batches deliveries through one reusable event however deep the
+// in-flight queue gets, while every frame still arrives at its exact
+// serialisation instant and in order.
+func TestLinkBurstBatchesDeliveries(t *testing.T) {
+	e := sim.NewEngine()
+	var arrivals []sim.Time
+	sink := EndpointFunc(func(f *Frame, _, at sim.Time) {
+		arrivals = append(arrivals, at)
+		f.Release()
+	})
+	l := NewLink(e, Rate10G, 3*sim.Nanosecond, sink)
+	const burst = 100
+	for i := 0; i < burst; i++ {
+		l.Transmit(NewFrame(make([]byte, 60)))
+	}
+	if got := l.InFlight(); got != burst {
+		t.Fatalf("in-flight = %d, want %d", got, burst)
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("a %d-frame burst scheduled %d events, want 1", burst, got)
+	}
+	e.Run()
+	if len(arrivals) != burst {
+		t.Fatalf("delivered %d frames, want %d", len(arrivals), burst)
+	}
+	slot := SerializationTime(64, Rate10G)
+	for i, at := range arrivals {
+		want := sim.Time(slot)*sim.Time(i+1) + sim.Time(3*sim.Nanosecond)
+		if at != want {
+			t.Fatalf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+	if l.InFlight() != 0 {
+		t.Fatalf("in-flight after drain = %d", l.InFlight())
+	}
+}
+
 func TestLinkNeverExceedsLineRate(t *testing.T) {
 	// Offer 2x line rate for 10000 frames; delivered spacing must never be
 	// tighter than the serialisation time.
@@ -171,6 +234,25 @@ func TestPropertyWireArithmetic(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkLinkBurstDelivery drives deep TX bursts through one link: the
+// per-frame cost of the batched delivery path (ring push/pop + one event
+// reschedule), with pooled frames so the link itself is what's measured.
+func BenchmarkLinkBurstDelivery(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	pool := NewPool()
+	sink := EndpointFunc(func(f *Frame, _, _ sim.Time) { f.Release() })
+	l := NewLink(e, Rate10G, 0, sink)
+	const burst = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			l.Transmit(pool.Get(60))
+		}
+		e.Run()
 	}
 }
 
