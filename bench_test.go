@@ -1,6 +1,6 @@
 // Package osnt_test holds the repository-level benchmark harness: one
 // benchmark per experiment table/figure in DESIGN.md (E1–E8, plus the
-// E9/E10/E11 scaling sweeps). Each iteration regenerates the corresponding
+// E9–E13 scaling sweeps). Each iteration regenerates the corresponding
 // table from scratch, so `go test -bench=. -benchmem` both exercises the
 // full stack and reports how much host CPU a complete experiment costs.
 // The tables themselves are printed by `go run ./cmd/osnt-bench` and
@@ -26,6 +26,8 @@ const (
 	benchE9Dur  = sim.Millisecond
 	benchE10Dur = sim.Millisecond
 	benchE11Dur = sim.Millisecond
+	benchE12Dur = 2 * sim.Millisecond
+	benchE13Dur = 2 * sim.Millisecond
 )
 
 func BenchmarkE1LineRate(b *testing.B) {
@@ -134,6 +136,30 @@ func BenchmarkE11Rate40G(b *testing.B) {
 		for _, row := range tbl.Rows {
 			if row[6] != "true" {
 				b.Fatalf("40G missed line rate: %v", row)
+			}
+		}
+	}
+}
+
+func BenchmarkE12MixedRateFanIn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E12MixedRateFanIn(benchE12Dur)
+		for _, row := range tbl.Rows {
+			if row[3] != "0" {
+				b.Fatalf("fan-in direction dropped: %v", row)
+			}
+		}
+	}
+}
+
+func BenchmarkE13MultiDUTChain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E13MultiDUTChain(benchE13Dur)
+		for _, row := range tbl.Rows {
+			if row[7] != "0.00" {
+				b.Fatalf("chain lost packets: %v", row)
 			}
 		}
 	}

@@ -1,0 +1,187 @@
+// Command benchgate is the benchmark-regression CI gate: it re-runs the
+// scaling benchmarks in-process (the same drivers BenchmarkE1LineRate,
+// BenchmarkE10TesterMesh, BenchmarkE11Rate40G, BenchmarkE12MixedRateFanIn
+// and BenchmarkE13MultiDUTChain iterate), writes the measured ns/op and
+// allocs/op to a JSON report, and compares the report against a
+// checked-in baseline with per-metric tolerances. CI fails the build when
+// a benchmark regresses past tolerance and uploads the report as an
+// artifact, so the perf trajectory is tracked per commit.
+//
+// Usage:
+//
+//	benchgate                      # measure, write BENCH.json, compare to BENCH_BASELINE.json
+//	benchgate -write               # measure and (re)write the baseline instead of comparing
+//	benchgate -count 5 -tol-ns 1.5 # more samples, looser wall-time tolerance
+//
+// Measurements run with Workers=1: serial sweeps keep allocation counts
+// reproducible (parallel workers shuffle sync.Pool hit rates), and the
+// gate's wall-time figures stay comparable across differently loaded CI
+// machines. ns/op takes the minimum across -count runs — the classic
+// noise-resistant estimator — and allocs/op likewise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"osnt/internal/experiments"
+	"osnt/internal/sim"
+)
+
+// result is one benchmark's measurement.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// report maps benchmark name → measurement. JSON marshalling sorts map
+// keys, so reports diff cleanly.
+type report map[string]result
+
+// benchmarks are the gated drivers. Durations mirror the repository
+// benchmark harness (bench_test.go) so one iteration costs tens to a few
+// hundred milliseconds while preserving every experiment's shape.
+var benchmarks = []struct {
+	name string
+	run  func()
+}{
+	{"E1LineRate", func() { experiments.E1LineRate(sim.Millisecond) }},
+	{"E10TesterMesh", func() { experiments.E10TesterMesh(sim.Millisecond) }},
+	{"E11Rate40G", func() { experiments.E11Rate40G(sim.Millisecond) }},
+	{"E12MixedRateFanIn", func() { experiments.E12MixedRateFanIn(2 * sim.Millisecond) }},
+	{"E13MultiDUTChain", func() { experiments.E13MultiDUTChain(2 * sim.Millisecond) }},
+}
+
+// measure runs fn count times and returns the minimum wall time and
+// allocation count per run. A warm-up run first fills the frame pool and
+// code caches; a GC before each sample keeps the allocator in a
+// comparable state.
+func measure(fn func(), count int) result {
+	fn() // warm-up
+	var best result
+	for i := 0; i < count; i++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		fn()
+		ns := float64(time.Since(t0).Nanoseconds())
+		runtime.ReadMemStats(&after)
+		allocs := float64(after.Mallocs - before.Mallocs)
+		if i == 0 || ns < best.NsPerOp {
+			best.NsPerOp = ns
+		}
+		if i == 0 || allocs < best.AllocsPerOp {
+			best.AllocsPerOp = allocs
+		}
+	}
+	return best
+}
+
+// violation is one benchmark outside tolerance.
+type violation struct {
+	name, metric string
+	got, limit   float64
+}
+
+func (v violation) String() string {
+	if v.metric == "presence" {
+		return fmt.Sprintf("%s: missing from this run but present in the baseline (delete it from the baseline if removal was deliberate)", v.name)
+	}
+	return fmt.Sprintf("%s: %s %.0f exceeds limit %.0f", v.name, v.metric, v.got, v.limit)
+}
+
+// compare checks every measured benchmark against the baseline. ns/op may
+// grow by the factor tolNS, allocs/op by tolAllocs (with a small absolute
+// slack so tiny baselines aren't gated at ±1 allocation). Benchmarks
+// missing from the baseline pass (they gate once the baseline is
+// rewritten); benchmarks missing from the measurement fail — a deleted
+// benchmark must be deleted from the baseline deliberately.
+func compare(got, baseline report, tolNS, tolAllocs float64) []violation {
+	const allocSlack = 64
+	var out []violation
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := got[name]
+		if !ok {
+			out = append(out, violation{name, "presence", 0, 0})
+			continue
+		}
+		if limit := base.NsPerOp * tolNS; cur.NsPerOp > limit {
+			out = append(out, violation{name, "ns/op", cur.NsPerOp, limit})
+		}
+		if limit := base.AllocsPerOp*tolAllocs + allocSlack; cur.AllocsPerOp > limit {
+			out = append(out, violation{name, "allocs/op", cur.AllocsPerOp, limit})
+		}
+	}
+	return out
+}
+
+func writeJSON(path string, r report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	out := flag.String("out", "BENCH.json", "where to write the measured report")
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "checked-in baseline to compare against")
+	write := flag.Bool("write", false, "rewrite the baseline from this run instead of comparing")
+	count := flag.Int("count", 3, "samples per benchmark (minimum is reported)")
+	tolNS := flag.Float64("tol-ns", 1.25, "allowed ns/op growth factor over baseline")
+	tolAllocs := flag.Float64("tol-allocs", 1.10, "allowed allocs/op growth factor over baseline")
+	flag.Parse()
+
+	experiments.Workers = 1
+
+	got := make(report, len(benchmarks))
+	for _, b := range benchmarks {
+		r := measure(b.run, *count)
+		got[b.name] = r
+		fmt.Printf("%-20s %12.0f ns/op %10.0f allocs/op\n", b.name, r.NsPerOp, r.AllocsPerOp)
+	}
+	if err := writeJSON(*out, got); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	if *write {
+		if err := writeJSON(*baselinePath, got); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: baseline written to %s\n", *baselinePath)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v (run with -write to create the baseline)\n", err)
+		os.Exit(1)
+	}
+	var baseline report
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(1)
+	}
+	violations := compare(got, baseline, *tolNS, *tolAllocs)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s\n", v)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within tolerance of %s (ns/op ×%.2f, allocs/op ×%.2f)\n",
+		len(baseline), *baselinePath, *tolNS, *tolAllocs)
+}

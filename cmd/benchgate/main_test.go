@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := report{"E1": {NsPerOp: 1000, AllocsPerOp: 2000}}
+	got := report{"E1": {NsPerOp: 1200, AllocsPerOp: 2100}}
+	if v := compare(got, base, 1.25, 1.10); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	base := report{"E1": {NsPerOp: 1000, AllocsPerOp: 0}}
+	got := report{"E1": {NsPerOp: 1300, AllocsPerOp: 0}}
+	v := compare(got, base, 1.25, 1.10)
+	if len(v) != 1 || v[0].metric != "ns/op" {
+		t.Fatalf("violations = %v, want one ns/op regression", v)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base := report{"E1": {NsPerOp: 0, AllocsPerOp: 10000}}
+	got := report{"E1": {NsPerOp: 0, AllocsPerOp: 12000}}
+	v := compare(got, base, 1.25, 1.10)
+	if len(v) != 1 || v[0].metric != "allocs/op" {
+		t.Fatalf("violations = %v, want one allocs/op regression", v)
+	}
+}
+
+func TestCompareAllocSlackCoversTinyBaselines(t *testing.T) {
+	// +50 allocations on a 10-alloc baseline is inside the absolute
+	// slack, not a 6× regression.
+	base := report{"E1": {AllocsPerOp: 10}}
+	got := report{"E1": {AllocsPerOp: 60}}
+	if v := compare(got, base, 1.25, 1.10); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := report{"E1": {NsPerOp: 1000}, "E2": {NsPerOp: 1000}}
+	got := report{"E1": {NsPerOp: 1000}}
+	v := compare(got, base, 1.25, 1.10)
+	if len(v) != 1 || v[0].name != "E2" || v[0].metric != "presence" {
+		t.Fatalf("violations = %v, want E2 missing", v)
+	}
+}
+
+func TestCompareNewBenchmarkNotGated(t *testing.T) {
+	base := report{"E1": {NsPerOp: 1000}}
+	got := report{"E1": {NsPerOp: 900}, "E99": {NsPerOp: 1e12}}
+	if v := compare(got, base, 1.25, 1.10); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}

@@ -34,6 +34,8 @@ func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
 		{"E9", func() *stats.Table { return E9PortScaling(sim.Millisecond) }},
 		{"E10", func() *stats.Table { return E10TesterMesh(sim.Millisecond) }},
 		{"E11", func() *stats.Table { return E11Rate40G(sim.Millisecond) }},
+		{"E12", func() *stats.Table { return E12MixedRateFanIn(2 * sim.Millisecond) }},
+		{"E13", func() *stats.Table { return E13MultiDUTChain(2 * sim.Millisecond) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,7 +1,8 @@
 // Package experiments regenerates every quantitative claim of the paper
 // (DESIGN.md's per-experiment index, E1–E8) plus the scaling sweeps the
 // testbed enables beyond it (E9 multi-port, E10 tester mesh, E11 40G
-// ports). Each driver declares its rig as an internal/topo scenario
+// ports, E12 mixed-rate fan-in, E13 multi-DUT chain decomposition).
+// Each driver declares its rig as an internal/topo scenario
 // graph, runs the workload in virtual time and returns a printable table
 // whose shape can be compared against the paper; the cmd/osnt-bench
 // binary and the repository-level benchmarks are thin wrappers around
@@ -56,6 +57,23 @@ func init() {
 	}
 	for i := range sinkNames {
 		sinkNames[i] = fmt.Sprintf("sink%d", i)
+	}
+}
+
+// idealCapture is the monitor configuration for sweeps that measure the
+// DUT rather than the capture path (cf. core.ThroughputTest): an
+// effectively infinite ring drained at zero cost, thinned to 64 B (the
+// embedded timestamp at offset 42..50 survives), so every MAC-captured
+// frame reaches the sink. E12 and E13 share it; changing the
+// idealisation recipe in one place keeps their figures comparable.
+func idealCapture(sink func(mon.Record)) mon.Config {
+	return mon.Config{
+		RingSize:       1 << 20,
+		HostPerPacket:  sim.Picosecond,
+		HostPerByte:    -1,
+		SnapLen:        64,
+		RecycleRecords: true,
+		Sink:           sink,
 	}
 }
 
@@ -464,5 +482,7 @@ func All() []*stats.Table {
 		E9PortScaling(0),
 		E10TesterMesh(0),
 		E11Rate40G(0),
+		E12MixedRateFanIn(0),
+		E13MultiDUTChain(0),
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"osnt/internal/sim"
+	"osnt/internal/wire"
 )
 
 func cell(t *testing.T, tbl interface{ String() string }, row, col int) string {
@@ -163,5 +164,76 @@ func TestE8EchoInflatesWithLoad(t *testing.T) {
 	loaded := parseF(t, tbl.Rows[len(tbl.Rows)-1][1])
 	if loaded < idle*2 {
 		t.Fatalf("echo RTT idle %vµs vs 90%% load %vµs", idle, loaded)
+	}
+}
+
+// E12: the fan-in direction must be lossless at full aggregate load at
+// every sweep point, while the 40G→10G down-conversion is lossless below
+// the 25% knee and both queues (bounded delay) and tail-drops above it.
+func TestE12ConversionKneeAndDropOnset(t *testing.T) {
+	tbl := E12MixedRateFanIn(5 * sim.Millisecond)
+	if len(tbl.Rows) != len(E12DownLoads) {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for r, row := range tbl.Rows {
+		load := E12DownLoads[r]
+		if upDrops := row[3]; upDrops != "0" {
+			t.Fatalf("fan-in direction dropped at down-load %.0f%%: %v", load*100, row)
+		}
+		qdrops := parseF(t, row[7])
+		lossPct := parseF(t, row[8])
+		if load > 0.26 {
+			if qdrops == 0 || lossPct == 0 {
+				t.Fatalf("down-load %.0f%% above the knee shows no tail drop: %v", load*100, row)
+			}
+		} else if load < 0.25 {
+			if qdrops != 0 || lossPct != 0 {
+				t.Fatalf("down-load %.0f%% below the knee is lossy: %v", load*100, row)
+			}
+		}
+	}
+	// Queueing delay above the knee is bounded by the egress FIFO depth:
+	// p99 latency must sit near cap × the 10G serialisation slot, not
+	// grow with offered load.
+	slot := wire.SerializationTime(e12FrameSize, wire.Rate10G)
+	bound := float64(e12EdgeQueueCap) * slot.Seconds() * 1e6 * 1.2
+	for r, row := range tbl.Rows {
+		if E12DownLoads[r] <= 0.26 {
+			continue
+		}
+		if p99 := parseF(t, row[6]); p99 > bound {
+			t.Fatalf("down-p99 %vµs exceeds the bounded-FIFO ceiling %.1fµs: %v", p99, bound, row)
+		}
+	}
+}
+
+// E13: every chain length is lossless, hop 1 carries the most queueing
+// (the raw Poisson stream), later hops see smoothed traffic, and the
+// per-hop means must sum to the end-to-end mean (the decomposition is
+// exact because the final hop closes on the MAC RX timestamp).
+func TestE13DecompositionSumsToTotal(t *testing.T) {
+	tbl := E13MultiDUTChain(5 * sim.Millisecond)
+	if len(tbl.Rows) != len(E13ChainLengths) {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for r, row := range tbl.Rows {
+		n := E13ChainLengths[r]
+		if loss := parseF(t, row[7]); loss != 0 {
+			t.Fatalf("chain of %d lost packets: %v", n, row)
+		}
+		var sum float64
+		for h := 0; h < n; h++ {
+			sum += parseF(t, row[1+h])
+		}
+		total := parseF(t, row[5])
+		if diff := sum - total; diff > 0.05 || diff < -0.05 {
+			t.Fatalf("chain of %d: hops sum to %.2fµs but total is %.2fµs: %v", n, sum, total, row)
+		}
+		if n >= 2 {
+			if hop1, hop2 := parseF(t, row[1]), parseF(t, row[2]); hop1 <= hop2 {
+				t.Fatalf("chain of %d: hop1 %.2fµs not above hop2 %.2fµs (queueing should concentrate at hop 1): %v",
+					n, hop1, hop2, row)
+			}
+		}
 	}
 }

@@ -43,6 +43,10 @@ type Record struct {
 	// Hash is the hardware packet digest (FNV over the first HashBytes),
 	// 0 when hashing is disabled.
 	Hash uint64
+	// Trace carries the frame's per-hop egress timestamps (stamped by
+	// forwarding devices with a hop ID), so sinks can decompose latency
+	// hop by hop instead of only end to end.
+	Trace wire.HopTrace
 }
 
 // Config parameterises a Monitor.
@@ -180,7 +184,7 @@ func (m *Monitor) onReceive(f *wire.Frame, at sim.Time, ts timing.Timestamp) {
 	copy(cp, data)
 	m.ring = append(m.ring, Record{
 		Data: cp, WireSize: f.Size, TS: ts, Arrival: at,
-		Port: m.port.Index(), Rule: ruleIdx, Hash: hash,
+		Port: m.port.Index(), Rule: ruleIdx, Hash: hash, Trace: f.Trace,
 	})
 	m.drain()
 }

@@ -1,0 +1,166 @@
+package sim
+
+import "testing"
+
+// drain pops every event, returning the observed times.
+func drain(q *CalendarQueue) []Time {
+	var out []Time
+	for ev := q.Pop(); ev != nil; ev = q.Pop() {
+		out = append(out, ev.At())
+	}
+	return out
+}
+
+func assertAscending(t *testing.T, got []Time, want []Time) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("popped %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop %d = %v, want %v (full order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// Wrap-around across bucket laps: events from different laps share a
+// bucket, and the head-of-bucket lap check must hold back next-lap
+// events even though they sort to the front of the cursor's own bucket.
+func TestCalendarQueueWrapAcrossLaps(t *testing.T) {
+	q := NewCalendarQueue(8, 10) // lap = 80
+	// Bucket 0 holds 5, 85 and 165 (laps 0, 1 and 2); bucket 4 holds 45
+	// and 125 (laps 0 and 1). Pushed shuffled.
+	for _, at := range []Time{165, 45, 85, 125, 5, 79, 80} {
+		q.Push(at, nil)
+	}
+	if q.Len() != 7 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	assertAscending(t, drain(q), []Time{5, 45, 79, 80, 85, 125, 165})
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d", q.Len())
+	}
+}
+
+// Events far beyond one lap (the degradation case the DESIGN ablation
+// cites): Pop must sweep many empty laps to reach them, but ordering and
+// completeness survive.
+func TestCalendarQueueFarBeyondOneLap(t *testing.T) {
+	q := NewCalendarQueue(4, 10) // lap = 40
+	far := Time(100_000)         // 2500 laps past the near events
+	q.Push(far, nil)
+	q.Push(3, nil)
+	q.Push(far+7, nil)
+	q.Push(22, nil)
+	assertAscending(t, drain(q), []Time{3, 22, far, far + 7})
+}
+
+// Events at the same instant pop in push order (the engine's FIFO
+// tie-break, carried by the sequence number).
+func TestCalendarQueueSameInstantFIFO(t *testing.T) {
+	q := NewCalendarQueue(8, 10)
+	order := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		q.Push(50, func() { order = append(order, i) })
+	}
+	for ev := q.Pop(); ev != nil; ev = q.Pop() {
+		ev.fn()
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant pop order %v, not FIFO", order)
+		}
+	}
+}
+
+// Interleaved operation, the hold pattern the engine would drive: pops
+// alternate with pushes of later instants, across lap boundaries.
+func TestCalendarQueueInterleavedHold(t *testing.T) {
+	q := NewCalendarQueue(16, 25) // lap = 400
+	rnd := NewRand(7)
+	next := Time(0)
+	for i := 0; i < 64; i++ {
+		next = next.Add(Duration(rnd.Intn(90)))
+		q.Push(next, nil)
+	}
+	last := Time(-1)
+	for i := 0; i < 2000; i++ {
+		ev := q.Pop()
+		if ev == nil {
+			t.Fatal("queue drained early")
+		}
+		if ev.At() < last {
+			t.Fatalf("pop %d went backwards: %v after %v", i, ev.At(), last)
+		}
+		last = ev.At()
+		q.Push(last.Add(Duration(1+rnd.Intn(int(900*Nanosecond)))), nil)
+	}
+	if q.Len() != 64 {
+		t.Fatalf("Len = %d after balanced hold, want 64", q.Len())
+	}
+}
+
+// BenchmarkPendingEvents1M is the ROADMAP's ">1M pending events" ablation:
+// the classic hold benchmark (pop the earliest, push a successor) on a
+// million-event set, comparing the engine's binary heap against the
+// calendar queue with a well-matched bucket width and with a width far
+// narrower than the event horizon — the regime where the calendar's
+// cursor must sweep many stale laps per pop and its O(1) claim degrades.
+func BenchmarkPendingEvents1M(b *testing.B) {
+	const (
+		pending = 1 << 20
+		spacing = Microsecond       // mean inter-event gap in the set
+		horizon = pending * spacing // ≈ 1 s of pending virtual time
+		maxInc  = 2 * int(horizon)  // hold increment: uniform [1, 2·horizon]
+	)
+	// The hold model: pop the earliest event, push its successor a draw
+	// of mean ≈ horizon later, so the popped event leapfrogs the whole
+	// set and the pending-set occupancy stays uniform — the steady state
+	// an engine with 1M concurrently armed timers lives in.
+	inc := func(r *Rand) Duration { return Duration(1 + r.Intn(maxInc)) }
+
+	b.Run("heap", func(b *testing.B) {
+		e := NewEngine()
+		rnd := NewRand(1)
+		at := Time(0)
+		for i := 0; i < pending; i++ {
+			at = at.Add(Duration(1 + rnd.Intn(int(2*spacing))))
+			// Each event re-arms itself on firing, so the engine's heap
+			// stays at `pending` entries with zero per-op allocations.
+			var ev *Event
+			ev = e.Schedule(at, func() {
+				e.Reschedule(ev, e.Now().Add(inc(rnd)))
+			})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	})
+
+	calendar := func(width Duration) func(*testing.B) {
+		return func(b *testing.B) {
+			q := NewCalendarQueue(1<<16, width)
+			rnd := NewRand(1)
+			at := Time(0)
+			for i := 0; i < pending; i++ {
+				at = at.Add(Duration(1 + rnd.Intn(int(2*spacing))))
+				q.Push(at, nil)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := q.Pop()
+				q.Push(ev.At().Add(inc(rnd)), nil)
+			}
+		}
+	}
+	// Width ≈ horizon/buckets: a handful of events per bucket.
+	b.Run("calendar-matched", calendar(Duration(int64(horizon)/(1<<16))))
+	// Width 1 ns against ~1 µs event spacing: successive events sit
+	// ~1000 buckets apart, so every pop sweeps ~1000 stale buckets —
+	// the width-far-from-spacing degradation the DESIGN ablation cites.
+	b.Run("calendar-mismatched", calendar(Nanosecond))
+}

@@ -1,0 +1,25 @@
+package stats
+
+import "testing"
+
+func TestPerHopRecordsPerIndex(t *testing.T) {
+	p := NewPerHop(2)
+	p.Record(0, 100)
+	p.Record(0, 300)
+	p.Record(1, 50)
+	// Recording past the initial size grows the set.
+	p.Record(3, 7)
+	if p.Hops() != 4 {
+		t.Fatalf("hops = %d, want 4", p.Hops())
+	}
+	if got := p.Hist(0).Mean(); got != 200 {
+		t.Fatalf("hop 0 mean %v, want 200", got)
+	}
+	if got := p.Hist(1).Count(); got != 1 {
+		t.Fatalf("hop 1 count %d, want 1", got)
+	}
+	// Hop 2 exists (grown) but is empty; out-of-range is nil.
+	if p.Hist(2).Count() != 0 || p.Hist(4) != nil || p.Hist(-1) != nil {
+		t.Fatal("gap/out-of-range hop handling")
+	}
+}

@@ -51,6 +51,19 @@ type Config struct {
 	Ports int
 	// Rate is the per-port line rate (default 10 Gb/s).
 	Rate wire.Rate
+	// PortRates overrides Rate per port: entry i (0 = inherit Rate) is
+	// port i's rate. A switch whose ports run at different rates performs
+	// store-and-forward speed conversion: a frame entering a 10G port
+	// bound for a 40G uplink (or the reverse) is fully received before it
+	// is forwarded, and the egress FIFO drains at the egress port's own
+	// rate, so fan-in overload shows up as bounded queueing delay and
+	// then tail drop instead of a modelling artefact.
+	PortRates []wire.Rate
+	// HopID, when non-zero, makes the switch stamp every forwarded
+	// frame's hop trace with this ID at the instant its last bit leaves
+	// the egress port (wire.HopTrace). internal/topo assigns DUTs
+	// sequential IDs so multi-switch chains decompose latency per hop.
+	HopID int
 	// Mode selects store-and-forward (default) or cut-through.
 	Mode ForwardingMode
 	// PipelineLatency is the fixed parse/lookup/fabric delay every packet
@@ -123,12 +136,17 @@ type Switch struct {
 type pendingLookup struct {
 	f       *wire.Frame
 	inPort  int
-	readyAt sim.Time // decision + pipeline latency complete
+	lastBit sim.Time     // frame fully received at the ingress MAC
+	span    sim.Duration // ingress wire occupancy (lastBit - firstBit)
+	readyAt sim.Time     // decision + pipeline latency complete
 }
 
 // New builds a switch on the engine.
 func New(e *sim.Engine, cfg Config) *Switch {
 	cfg.fill()
+	if len(cfg.PortRates) > cfg.Ports {
+		panic(fmt.Sprintf("switchsim: %d per-port rates for %d ports", len(cfg.PortRates), cfg.Ports))
+	}
 	s := &Switch{Engine: e, cfg: cfg, fdb: make(map[packet.MAC]int), rand: sim.NewRand(cfg.Seed ^ 0x5057)}
 	for i := 0; i < cfg.Ports; i++ {
 		s.ports = append(s.ports, &Port{sw: s, index: i})
@@ -152,6 +170,18 @@ func (s *Switch) NumPorts() int { return len(s.ports) }
 
 // Rate returns the per-port line rate.
 func (s *Switch) Rate() wire.Rate { return s.cfg.Rate }
+
+// PortRate returns port i's line rate: its PortRates override when set,
+// the switch-wide Rate otherwise.
+func (s *Switch) PortRate(i int) wire.Rate {
+	if i < len(s.cfg.PortRates) && s.cfg.PortRates[i] != 0 {
+		return s.cfg.PortRates[i]
+	}
+	return s.cfg.Rate
+}
+
+// HopID returns the switch's hop-trace ID (0 = stamping disabled).
+func (s *Switch) HopID() int { return s.cfg.HopID }
 
 // Port returns port i.
 func (s *Switch) Port(i int) *Port { return s.ports[i] }
@@ -183,10 +213,13 @@ func (s *Switch) MACTable() map[packet.MAC]int {
 // window, which is sound because its effects — egress serialisation —
 // are themselves modelled with backdatable start times).
 func (s *Switch) receive(p *Port, f *wire.Frame, firstBit, lastBit sim.Time) {
-	// Earliest instant the lookup may begin, by forwarding mode.
+	// Earliest instant the lookup may begin, by forwarding mode. The
+	// header window is timed at the ingress port's own rate: on a
+	// mixed-rate switch a 40G port has its 64 bytes 4× sooner than a 10G
+	// one.
 	start := lastBit
 	if s.cfg.Mode == CutThrough {
-		window := sim.Duration(cutThroughWindow) * s.cfg.Rate.ByteTime()
+		window := sim.Duration(cutThroughWindow) * s.PortRate(p.index).ByteTime()
 		d := firstBit.Add(window)
 		if d > lastBit {
 			d = lastBit // tiny frames: header window is the whole frame
@@ -217,7 +250,7 @@ func (s *Switch) receive(p *Port, f *wire.Frame, firstBit, lastBit sim.Time) {
 	// single-threaded and the pipeline delay constant), so the pending
 	// lookups form a FIFO drained by one reusable event per port instead
 	// of one Event + closure per packet.
-	p.lookupQ.Push(pendingLookup{f: f, inPort: p.index, readyAt: ready})
+	p.lookupQ.Push(pendingLookup{f: f, inPort: p.index, lastBit: lastBit, span: lastBit.Sub(firstBit), readyAt: ready})
 	if p.lookupQ.Len() == 1 {
 		p.armLookup(ready)
 	}
@@ -261,7 +294,7 @@ func (s *Switch) decide(p pendingLookup) {
 	earliest := p.readyAt
 	if out, ok := s.fdb[eth.Dst]; ok && !eth.Dst.IsMulticast() {
 		if out != p.inPort {
-			s.ports[out].enqueue(p.f, earliest)
+			s.ports[out].enqueue(p.f, s.convertEarliest(p, out, earliest))
 		} else {
 			p.f.Release() // never hairpin out the ingress port
 		}
@@ -275,9 +308,30 @@ func (s *Switch) decide(p pendingLookup) {
 		if i == p.inPort || port.link == nil {
 			continue
 		}
-		port.enqueue(p.f.Clone(), earliest)
+		port.enqueue(p.f.Clone(), s.convertEarliest(p, i, earliest))
 	}
 	p.f.Release()
+}
+
+// convertEarliest returns the earliest instant egress serialisation out
+// port `out` may begin for pending lookup p. Crossing a rate boundary
+// forces store-and-forward even on a cut-through switch: serialising at a
+// faster egress rate than the bits arrive would underrun the MAC, and
+// real converting hardware buffers the whole frame. The boundary is
+// detected against the frame's *actual* ingress occupancy (lastBit −
+// firstBit, which encodes the arrival wire's rate), not the ingress
+// port's nominal rate — a topo Convert edge can legally deliver a slower
+// wire into a faster port, and that boundary must store too. Same-rate
+// forwarding keeps the lookup-derived instant untouched, so uniform-rate
+// switches behave exactly as before.
+func (s *Switch) convertEarliest(p pendingLookup, out int, earliest sim.Time) sim.Time {
+	if earliest >= p.lastBit {
+		return earliest // fully stored already; nothing to clamp
+	}
+	if wire.SerializationTime(p.f.Size, s.PortRate(out)) != p.span {
+		return p.lastBit
+	}
+	return earliest
 }
 
 // Port is one switch interface.
@@ -348,6 +402,9 @@ func (p *Port) trySend() {
 
 	p.busy = true
 	end := p.link.TransmitAt(q.f, q.earliest)
+	if id := p.sw.cfg.HopID; id != 0 {
+		q.f.Trace.Stamp(id, end)
+	}
 	p.egress.Add(wire.WireBytes(q.f.Size))
 	p.sw.forwarded.Add(wire.WireBytes(q.f.Size))
 	eventAt := end

@@ -328,3 +328,141 @@ func BenchmarkSwitchForwarding(b *testing.B) {
 		}
 	}
 }
+
+// mixedTopo wires a two-port mixed-rate switch: host 0 on a fast ingress
+// port, host 1 on a slow egress port, each link at its port's own rate.
+func mixedTopo(t *testing.T, cfg Config) *topo {
+	t.Helper()
+	tp := &topo{e: sim.NewEngine()}
+	tp.sw = New(tp.e, cfg)
+	tp.rx = make([][]sim.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		rate := tp.sw.PortRate(i)
+		card := netfpga.New(tp.e, netfpga.Config{Ports: 1, Rate: rate, TxQueueCap: 1 << 16})
+		toSwitch, toHost := wire.Connect(tp.e, rate, 0, card.Port(0), tp.sw.Port(i))
+		card.Port(0).SetLink(toSwitch)
+		tp.sw.Port(i).SetLink(toHost)
+		card.Port(0).OnReceive = func(f *wire.Frame, at sim.Time, _ timing.Timestamp) {
+			tp.rx[i] = append(tp.rx[i], at)
+		}
+		tp.hosts = append(tp.hosts, card)
+	}
+	tp.sw.Learn(macA, 0)
+	tp.sw.Learn(macB, 1)
+	return tp
+}
+
+func TestPortRateDefaultsAndOverrides(t *testing.T) {
+	e := sim.NewEngine()
+	uniform := New(e, Config{})
+	if uniform.PortRate(3) != wire.Rate10G {
+		t.Fatalf("uniform switch: rate %v", uniform.PortRate(3))
+	}
+	mixed := New(e, Config{PortRates: []wire.Rate{0, wire.Rate40G}})
+	if mixed.PortRate(0) != wire.Rate10G || mixed.PortRate(1) != wire.Rate40G {
+		t.Fatalf("mixed switch: rates %v/%v", mixed.PortRate(0), mixed.PortRate(1))
+	}
+}
+
+func TestTooManyPortRatesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 5 rates on a 4-port switch")
+		}
+	}()
+	New(sim.NewEngine(), Config{PortRates: []wire.Rate{0, 0, 0, 0, wire.Rate40G}})
+}
+
+// Store-and-forward speed conversion: a burst entering a 10G port bound
+// for a 1G egress drains the egress FIFO at the egress port's own rate —
+// the frames leave back-to-back at 1G spacing, not 10G spacing.
+func TestSpeedConversionDrainsAtEgressRate(t *testing.T) {
+	tp := mixedTopo(t, Config{Ports: 2, PortRates: []wire.Rate{wire.Rate10G, wire.Rate1G}})
+	const n = 8
+	for i := 0; i < n; i++ {
+		tp.send(0, udpFrame(macA, macB, 512))
+	}
+	tp.e.Run()
+	if len(tp.rx[1]) != n {
+		t.Fatalf("delivered %d of %d", len(tp.rx[1]), n)
+	}
+	gap := wire.SerializationTime(512, wire.Rate1G)
+	for i := 1; i < n; i++ {
+		if got := tp.rx[1][i].Sub(tp.rx[1][i-1]); got != gap {
+			t.Fatalf("inter-arrival %d: %v, want 1G slot %v", i, got, gap)
+		}
+	}
+}
+
+// Sustained fan-in overload past the bounded egress FIFO becomes tail
+// drop, with the drop counter accounting for every missing frame.
+func TestSpeedConversionTailDrop(t *testing.T) {
+	tp := mixedTopo(t, Config{
+		Ports: 2, PortRates: []wire.Rate{wire.Rate10G, wire.Rate1G},
+		EgressQueueCap: 2,
+	})
+	const n = 16
+	for i := 0; i < n; i++ {
+		tp.send(0, udpFrame(macA, macB, 512))
+	}
+	tp.e.Run()
+	drops := tp.sw.Port(1).Drops()
+	if drops == 0 {
+		t.Fatal("10G→1G overload with a 2-deep egress queue dropped nothing")
+	}
+	if got := uint64(len(tp.rx[1])) + drops; got != n {
+		t.Fatalf("delivered %d + dropped %d != sent %d", len(tp.rx[1]), drops, n)
+	}
+}
+
+// Crossing a rate boundary forces store-and-forward even in cut-through
+// mode: egress serialisation cannot begin before the frame has fully
+// arrived at the ingress MAC.
+func TestCutThroughConversionStoresFully(t *testing.T) {
+	tp := mixedTopo(t, Config{
+		Ports: 2, PortRates: []wire.Rate{wire.Rate10G, wire.Rate1G},
+		Mode: CutThrough,
+		// Near-zero lookup and pipeline so the cut-through decision is
+		// ready long before the frame has arrived — only the conversion
+		// clamp can delay egress.
+		LookupPerPacket: sim.Nanosecond,
+		LookupPerByte:   sim.Picosecond,
+		PipelineLatency: sim.Nanosecond,
+	})
+	start := tp.e.Now()
+	tp.send(0, udpFrame(macA, macB, 1518))
+	tp.e.Run()
+	if len(tp.rx[1]) != 1 {
+		t.Fatal("frame not delivered")
+	}
+	want := start.
+		Add(wire.SerializationTime(1518, wire.Rate10G)). // full ingress store
+		Add(wire.SerializationTime(1518, wire.Rate1G))   // egress at port rate
+	if got := tp.rx[1][0]; got != want {
+		t.Fatalf("converted cut-through delivery at %v, want store-and-forward %v", got, want)
+	}
+}
+
+// A switch with a hop ID stamps every forwarded frame's trace at the
+// instant the last bit leaves its egress port.
+func TestHopStamping(t *testing.T) {
+	tp := mixedTopo(t, Config{Ports: 2, HopID: 7})
+	var hops []wire.Hop
+	tp.hosts[1].Port(0).OnReceive = func(f *wire.Frame, at sim.Time, _ timing.Timestamp) {
+		tp.rx[1] = append(tp.rx[1], at)
+		if f.Trace.Len() == 1 {
+			hops = append(hops, f.Trace.At(0))
+		}
+	}
+	tp.send(0, udpFrame(macA, macB, 512))
+	tp.e.Run()
+	if len(tp.rx[1]) != 1 || len(hops) != 1 {
+		t.Fatalf("delivered %d frames, %d single-hop traces", len(tp.rx[1]), len(hops))
+	}
+	// Zero propagation delay: the egress last-bit instant is the arrival
+	// instant at the host.
+	if hops[0].Node != 7 || hops[0].At != tp.rx[1][0] {
+		t.Fatalf("hop stamp %+v, want node 7 at %v", hops[0], tp.rx[1][0])
+	}
+}

@@ -27,6 +27,18 @@
 // direction), transmitting sinks, and rate mismatches between an edge and
 // the native port rate of either endpoint are all construction-time
 // errors, not silent miswirings.
+//
+// Rates are resolved per port, not per device: a DUT whose switchsim
+// config carries PortRates can expose a 40G uplink next to 10G edge
+// ports, and each edge must match the rate of the specific ports it
+// joins. An edge between ports at *different* rates is still an error at
+// a dumb cable, but may be declared as an explicit conversion edge
+// (Convert/ConvertAt) when at least one endpoint is a DUT — the device
+// that store-and-forwards across the rate boundary. A conversion edge
+// serialises at the transmitting port's rate. DUTs are also assigned
+// sequential hop IDs (1, 2, ... in declaration order, unless the config
+// pins one), so chains of switches stamp per-hop egress timestamps into
+// every frame's wire.HopTrace and latency decomposes hop by hop.
 package topo
 
 import (
@@ -87,10 +99,15 @@ type node struct {
 type Edge struct {
 	From, To string
 	// Rate is the link speed; 0 inherits the endpoints' native port rate
-	// (which must then agree).
+	// (which must then agree, unless Convert is set).
 	Rate wire.Rate
 	// Delay is the propagation delay.
 	Delay sim.Duration
+	// Convert marks a speed-conversion edge: the endpoints' port rates
+	// may differ, provided at least one endpoint is a DUT (the device
+	// that store-and-forwards across the boundary). The wire serialises
+	// at the transmitting port's rate; Rate, if set, must equal it.
+	Convert bool
 }
 
 // Builder accumulates a scenario graph. Declaration order is preserved:
@@ -179,6 +196,20 @@ func (b *Builder) DuplexAt(a, c string, rate wire.Rate, delay sim.Duration) *Bui
 	return b.LinkAt(a, c, rate, delay).LinkAt(c, a, rate, delay)
 }
 
+// Convert declares a unidirectional speed-conversion edge from → to:
+// the endpoints' port rates may differ when at least one endpoint is a
+// DUT, and the wire runs at the transmitting port's rate.
+func (b *Builder) Convert(from, to string) *Builder {
+	b.edges = append(b.edges, Edge{From: from, To: to, Convert: true})
+	return b
+}
+
+// ConvertAt is Convert with an explicit propagation delay.
+func (b *Builder) ConvertAt(from, to string, delay sim.Duration) *Builder {
+	b.edges = append(b.edges, Edge{From: from, To: to, Delay: delay, Convert: true})
+	return b
+}
+
 // Add appends a pre-built Edge (the non-fluent spelling of Link/LinkAt).
 func (b *Builder) Add(e Edge) *Builder {
 	b.edges = append(b.edges, e)
@@ -232,14 +263,15 @@ func (n *node) numPorts() int {
 	}
 }
 
-// rate is the instantiated device's native per-port rate, or 0 when the
-// node accepts any rate (sinks).
-func (n *node) rate() wire.Rate {
+// rateAt is the instantiated device's native rate for one specific port,
+// or 0 when the node accepts any rate (sinks). DUTs may run mixed-rate
+// ports (switchsim PortRates); testers and OpenFlow switches are uniform.
+func (n *node) rateAt(port int) wire.Rate {
 	switch n.kind {
 	case kindTester:
 		return n.tester.Card.Rate()
 	case kindDUT:
-		return n.dut.Rate()
+		return n.dut.PortRate(port)
 	case kindOFSwitch:
 		return n.of.Rate()
 	default:
@@ -299,17 +331,44 @@ func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
 		return nil, validationError(b.errs)
 	}
 
+	// DUTs get sequential hop IDs (1-based, declaration order) unless
+	// their config pins one, so chain rigs stamp per-hop traces without
+	// per-experiment bookkeeping. Pinned IDs are claimed first — two
+	// devices stamping the same Hop.Node would silently merge their
+	// latency in every decomposition, so a clash is a validation error
+	// and the auto-assigner skips claimed values.
+	pinned := make(map[int]string)
+	for _, n := range b.nodes {
+		if n.kind != kindDUT || n.dutCfg.HopID == 0 {
+			continue
+		}
+		if prev, dup := pinned[n.dutCfg.HopID]; dup {
+			return nil, validationError([]error{fmt.Errorf("topo: DUTs %q and %q both pin hop ID %d",
+				prev, n.name, n.dutCfg.HopID)})
+		}
+		pinned[n.dutCfg.HopID] = n.name
+	}
+
 	// Instantiate nodes in declaration order before validating edges, so
 	// port counts and rates come from the devices themselves (the
 	// constructors' config defaulting is the single source of truth).
 	// Construction schedules nothing, so this order only fixes handle
 	// identity, never event timing.
+	nextHop := 1
 	for _, n := range b.nodes {
 		switch n.kind {
 		case kindTester:
 			n.tester = core.NewDevice(e, n.testerCfg)
 		case kindDUT:
-			n.dut = switchsim.New(e, n.dutCfg)
+			cfg := n.dutCfg
+			if cfg.HopID == 0 {
+				for pinned[nextHop] != "" {
+					nextHop++
+				}
+				cfg.HopID = nextHop
+				nextHop++
+			}
+			n.dut = switchsim.New(e, cfg)
 		case kindOFSwitch:
 			n.of = ofswitch.New(e, n.ofCfg)
 		}
@@ -364,17 +423,43 @@ func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
 
 		// Resolve the link rate and demand agreement with both endpoints'
 		// native port rates: a 40G fibre into a 10G MAC is a miswiring.
+		// Rates resolve per port (a mixed-rate DUT exposes different
+		// rates on different ports). A genuine rate boundary is legal
+		// only on an explicit conversion edge anchored at a DUT, which
+		// serialises at the transmitting port's rate.
 		rate := edge.Rate
-		for _, ep := range []endpoint{from, to} {
-			native := ep.n.rate()
-			if native == 0 {
+		fromRate := from.n.rateAt(from.port)
+		toRate := to.n.rateAt(to.port)
+		if edge.Convert {
+			if from.n.kind != kindDUT && to.n.kind != kindDUT {
+				errs = append(errs, fmt.Errorf("topo: conversion edge %s → %s joins no DUT (only a DUT store-and-forwards across a rate boundary)",
+					edge.From, edge.To))
 				continue
 			}
 			if rate == 0 {
-				rate = native
-			} else if rate != native {
-				errs = append(errs, fmt.Errorf("topo: edge %s → %s at %v, but %s %q ports run at %v",
-					edge.From, edge.To, rate, ep.n.kind, ep.n.name, native))
+				rate = fromRate
+			} else if fromRate != 0 && rate != fromRate {
+				errs = append(errs, fmt.Errorf("topo: conversion edge %s → %s at %v, but the transmitting %s %q port runs at %v",
+					edge.From, edge.To, rate, from.n.kind, from.n.name, fromRate))
+				continue
+			}
+		} else {
+			if fromRate != 0 && toRate != 0 && fromRate != toRate {
+				errs = append(errs, fmt.Errorf("topo: edge %s → %s joins %s %q at %v to %s %q at %v; use a Convert edge at a DUT for store-and-forward speed conversion",
+					edge.From, edge.To, from.n.kind, from.n.name, fromRate, to.n.kind, to.n.name, toRate))
+				continue
+			}
+			for _, native := range []wire.Rate{fromRate, toRate} {
+				if native == 0 {
+					continue
+				}
+				if rate == 0 {
+					rate = native
+				} else if rate != native {
+					errs = append(errs, fmt.Errorf("topo: edge %s → %s at %v, but its ports run at %v",
+						edge.From, edge.To, rate, native))
+					break
+				}
 			}
 		}
 		if rate == 0 {

@@ -10,6 +10,7 @@ import (
 	"osnt/internal/packet"
 	"osnt/internal/sim"
 	"osnt/internal/switchsim"
+	"osnt/internal/timing"
 	"osnt/internal/wire"
 )
 
@@ -240,5 +241,193 @@ func TestBuild40GLoopback(t *testing.T) {
 	l := tp.Port("osnt:0").Link()
 	if l == nil || l.Rate != wire.Rate40G {
 		t.Fatalf("loopback link rate = %v, want 40G", l.Rate)
+	}
+}
+
+// A rate boundary on a plain edge is a miswiring; the same boundary on a
+// Convert edge anchored at a DUT builds, with the wire serialising at the
+// transmitting port's rate.
+func TestConvertEdgeLegalisesRateBoundary(t *testing.T) {
+	wantBuildError(t,
+		New().Tester("osnt", netfpga.Config{Rate: wire.Rate40G}).
+			DUT("sw", switchsim.Config{}).
+			Link("osnt:0", "sw:0"),
+		"Convert edge")
+	e := sim.NewEngine()
+	tp := New().
+		Tester("osnt", netfpga.Config{Rate: wire.Rate40G}).
+		DUT("sw", switchsim.Config{}).
+		Convert("osnt:0", "sw:0").
+		Convert("sw:1", "osnt:1").
+		MustBuild(e)
+	// The conversion wire runs at the transmitter's 40G rate.
+	if l := tp.Tester("osnt").Card.Port(0).Link(); l.Rate != wire.Rate40G {
+		t.Fatalf("conversion edge rate %v, want %v", l.Rate, wire.Rate40G)
+	}
+}
+
+func TestConvertEdgeNeedsDUT(t *testing.T) {
+	wantBuildError(t,
+		New().Tester("a", netfpga.Config{}).Tester("c", netfpga.Config{Rate: wire.Rate40G}).
+			Convert("a:0", "c:0"),
+		"joins no DUT")
+}
+
+func TestConvertEdgeRateMustMatchTransmitter(t *testing.T) {
+	wantBuildError(t,
+		New().Tester("osnt", netfpga.Config{}).
+			DUT("sw", switchsim.Config{Rate: wire.Rate40G}).
+			Add(Edge{From: "osnt:0", To: "sw:0", Rate: wire.Rate40G, Convert: true}),
+		"transmitting", `"osnt"`)
+}
+
+// A DUT with mixed per-port rates validates each edge against the rate
+// of the specific port it joins — the E12 fan-in rig in miniature.
+func TestMixedRateDUTValidatesPerPort(t *testing.T) {
+	build := func() *Builder {
+		return New().
+			Tester("osnt", netfpga.Config{}).
+			Tester("cap", netfpga.Config{Ports: 1, Rate: wire.Rate40G}).
+			DUT("dut", switchsim.Config{
+				Ports:     5,
+				PortRates: []wire.Rate{0, 0, 0, 0, wire.Rate40G},
+			})
+	}
+	// Edge ports at matching rates: builds.
+	build().
+		Link("osnt:0", "dut:0").
+		Link("dut:4", "cap:0").
+		MustBuild(sim.NewEngine())
+	// The 40G uplink port cannot take a plain edge from a 10G tester.
+	wantBuildError(t,
+		build().Link("osnt:0", "dut:4"),
+		"10Gb/s", "40Gb/s", "Convert edge")
+}
+
+// DUTs get sequential hop IDs in declaration order unless pinned.
+func TestDUTHopIDAssignment(t *testing.T) {
+	e := sim.NewEngine()
+	tp := New().
+		Tester("osnt", netfpga.Config{Ports: 2}).
+		DUT("sw1", switchsim.Config{}).
+		DUT("sw2", switchsim.Config{HopID: 9}).
+		DUT("sw3", switchsim.Config{}).
+		Link("osnt:0", "sw1:0").
+		Link("sw1:1", "sw2:0").
+		Link("sw2:1", "sw3:0").
+		Link("sw3:1", "osnt:1").
+		MustBuild(e)
+	for name, want := range map[string]int{"sw1": 1, "sw2": 9, "sw3": 2} {
+		if got := tp.DUT(name).HopID(); got != want {
+			t.Errorf("%s hop ID %d, want %d", name, got, want)
+		}
+	}
+}
+
+// Pinned hop IDs are claimed before auto-assignment (so an auto DUT can
+// never collide with a pinned one), and two DUTs pinning the same ID is
+// a validation error — a shared Hop.Node would silently merge two
+// devices' latency in every decomposition.
+func TestDUTHopIDClash(t *testing.T) {
+	e := sim.NewEngine()
+	tp := New().
+		DUT("auto", switchsim.Config{}).
+		DUT("pin", switchsim.Config{HopID: 1}).
+		MustBuild(e)
+	if a, p := tp.DUT("auto").HopID(), tp.DUT("pin").HopID(); a == p || a != 2 {
+		t.Fatalf("auto=%d pin=%d, want auto to skip the pinned 1", a, p)
+	}
+	wantBuildError(t,
+		New().DUT("a", switchsim.Config{HopID: 3}).DUT("b", switchsim.Config{HopID: 3}),
+		"both pin hop ID 3")
+}
+
+// End to end through a 2-DUT chain: the capture side sees a two-entry
+// hop trace in traversal order, with non-decreasing stamps.
+func TestChainHopTraceEndToEnd(t *testing.T) {
+	e := sim.NewEngine()
+	tp := New().
+		Tester("osnt", netfpga.Config{Ports: 2}).
+		DUT("sw1", switchsim.Config{}).
+		DUT("sw2", switchsim.Config{}).
+		Link("osnt:0", "sw1:0").
+		Link("sw1:1", "sw2:0").
+		Link("sw2:1", "osnt:1").
+		MustBuild(e)
+	tp.DUT("sw1").Learn(testSpec.DstMAC, 1)
+	tp.DUT("sw2").Learn(testSpec.DstMAC, 1)
+	var traces []wire.HopTrace
+	tp.Port("osnt:1").OnReceive = func(f *wire.Frame, _ sim.Time, _ timing.Timestamp) {
+		traces = append(traces, f.Trace)
+	}
+	g, err := gen.New(tp.Port("osnt:0"), gen.Config{
+		Source:  &gen.UDPFlowSource{Spec: testSpec, FrameSize: 512},
+		Spacing: gen.CBRForLoad(512, wire.Rate10G, 0.5),
+		Count:   3,
+		Pool:    wire.DefaultPool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(0)
+	e.Run()
+	if len(traces) != 3 {
+		t.Fatalf("captured %d traces, want 3", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.Len() != 2 {
+			t.Fatalf("trace has %d hops, want 2", tr.Len())
+		}
+		h1, h2 := tr.At(0), tr.At(1)
+		if h1.Node != 1 || h2.Node != 2 {
+			t.Fatalf("hop order %d,%d, want 1,2", h1.Node, h2.Node)
+		}
+		if h2.At < h1.At {
+			t.Fatalf("hop stamps go backwards: %v then %v", h1.At, h2.At)
+		}
+	}
+}
+
+// A Convert edge can deliver a slower wire into a faster DUT port; even
+// in cut-through mode the switch must then store the whole frame before
+// egress — otherwise the recorded delivery would precede the frame's own
+// arrival (causality violation in every downstream timestamp).
+func TestConvertEdgeCutThroughStoresFully(t *testing.T) {
+	e := sim.NewEngine()
+	tp := New().
+		Tester("src", netfpga.Config{}). // 10G
+		Tester("dst", netfpga.Config{Ports: 1, Rate: wire.Rate40G}).
+		DUT("sw", switchsim.Config{
+			Rate: wire.Rate40G,
+			Mode: switchsim.CutThrough,
+			// Near-zero lookup/pipeline: only the store clamp can delay
+			// egress.
+			LookupPerPacket: sim.Nanosecond,
+			LookupPerByte:   sim.Picosecond,
+			PipelineLatency: sim.Nanosecond,
+		}).
+		Convert("src:0", "sw:0"). // 10G wire into the 40G DUT port
+		Link("sw:1", "dst:0").
+		MustBuild(e)
+	tp.DUT("sw").Learn(testSpec.DstMAC, 1)
+	var arrivals []sim.Time
+	tp.Port("dst:0").OnReceive = func(_ *wire.Frame, at sim.Time, _ timing.Timestamp) {
+		arrivals = append(arrivals, at)
+	}
+	spec := testSpec
+	spec.FrameSize = 1518
+	tp.Port("src:0").Enqueue(wire.NewFrame(spec.Build()))
+	e.Run()
+	if len(arrivals) != 1 {
+		t.Fatal("frame not delivered")
+	}
+	// Last bit enters the switch only after full 10G serialisation; the
+	// 40G egress must start no earlier, so delivery lands at exactly
+	// ingress-store + 40G egress serialisation.
+	want := sim.Time(0).
+		Add(wire.SerializationTime(1518, wire.Rate10G)).
+		Add(wire.SerializationTime(1518, wire.Rate40G))
+	if arrivals[0] != want {
+		t.Fatalf("delivery at %v, want stored-then-forwarded %v", arrivals[0], want)
 	}
 }

@@ -61,6 +61,7 @@ func (p *Pool) Get(n int) *Frame {
 	}
 	f.Size = n + FCSLen
 	f.SrcPort = 0
+	f.Trace.Reset()
 	f.pool = p
 	return f
 }

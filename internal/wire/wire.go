@@ -79,6 +79,46 @@ func MaxPPS(frameSize int, r Rate) float64 {
 	return float64(r) / (8 * float64(WireBytes(frameSize)))
 }
 
+// MaxHops bounds the per-frame hop trace. Deep enough for any chain the
+// experiments measure (E13 tops out at four DUTs); traversals beyond it
+// are silently untraced rather than allocating.
+const MaxHops = 8
+
+// Hop is one stamped traversal of a forwarding device: the device's hop
+// ID and the instant the frame's last bit left its egress port.
+type Hop struct {
+	Node int
+	At   sim.Time
+}
+
+// HopTrace is a fixed-capacity record of the forwarding devices a frame
+// traversed, stamped by each device's egress path. It is the simulation's
+// per-hop instrumentation (the analogue of hardware taps at every hop):
+// monitors copy it into capture records so latency can be decomposed hop
+// by hop instead of only end to end. Held by value inside Frame, so
+// stamping and copying never allocate.
+type HopTrace struct {
+	stamps [MaxHops]Hop
+	n      int
+}
+
+// Stamp appends one hop; beyond MaxHops it is dropped.
+func (t *HopTrace) Stamp(node int, at sim.Time) {
+	if t.n < MaxHops {
+		t.stamps[t.n] = Hop{Node: node, At: at}
+		t.n++
+	}
+}
+
+// Len returns the number of recorded hops.
+func (t *HopTrace) Len() int { return t.n }
+
+// At returns hop i in traversal order.
+func (t *HopTrace) At(i int) Hop { return t.stamps[i] }
+
+// Reset clears the trace.
+func (t *HopTrace) Reset() { t.n = 0 }
+
 // Frame is one Ethernet frame in flight. Data excludes the FCS. The Size
 // field is the FCS-inclusive frame size, which can exceed len(Data)+4 when
 // a monitor has thinned (truncated) the captured bytes but must still
@@ -88,6 +128,9 @@ type Frame struct {
 	Size int // FCS-inclusive original frame size
 	// SrcPort is an opaque tag devices may use to remember ingress.
 	SrcPort int
+	// Trace accumulates per-hop egress timestamps as the frame crosses
+	// forwarding devices (see HopTrace).
+	Trace HopTrace
 
 	// pool, when non-nil, is where Release returns this frame.
 	pool *Pool
@@ -104,7 +147,7 @@ func NewFrame(data []byte) *Frame {
 func (f *Frame) Clone() *Frame {
 	d := make([]byte, len(f.Data))
 	copy(d, f.Data)
-	return &Frame{Data: d, Size: f.Size, SrcPort: f.SrcPort}
+	return &Frame{Data: d, Size: f.Size, SrcPort: f.SrcPort, Trace: f.Trace}
 }
 
 // CopyFrom overwrites f with t's bytes and metadata, reusing f's buffer
@@ -118,6 +161,7 @@ func (f *Frame) CopyFrom(t *Frame) {
 	copy(f.Data, t.Data)
 	f.Size = t.Size
 	f.SrcPort = t.SrcPort
+	f.Trace = t.Trace
 }
 
 // Release returns a pooled frame to its pool. It is a no-op on unpooled

@@ -264,3 +264,47 @@ func TestRateString(t *testing.T) {
 		t.Fatalf("got %q", Rate(100_000_000).String())
 	}
 }
+
+func TestHopTraceStampAndOverflow(t *testing.T) {
+	var tr HopTrace
+	for i := 0; i < MaxHops+3; i++ {
+		tr.Stamp(i+1, sim.Time(i*100))
+	}
+	if tr.Len() != MaxHops {
+		t.Fatalf("trace holds %d hops, want cap %d", tr.Len(), MaxHops)
+	}
+	for i := 0; i < MaxHops; i++ {
+		if h := tr.At(i); h.Node != i+1 || h.At != sim.Time(i*100) {
+			t.Fatalf("hop %d = %+v", i, h)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("reset trace not empty")
+	}
+}
+
+func TestFrameCopiesCarryTrace(t *testing.T) {
+	f := NewFrame(make([]byte, 60))
+	f.Trace.Stamp(1, 100)
+	f.Trace.Stamp(2, 200)
+	if c := f.Clone(); c.Trace.Len() != 2 || c.Trace.At(1) != (Hop{Node: 2, At: 200}) {
+		t.Fatalf("clone trace %v hops", c.Trace.Len())
+	}
+	var g Frame
+	g.CopyFrom(f)
+	if g.Trace.Len() != 2 || g.Trace.At(0) != (Hop{Node: 1, At: 100}) {
+		t.Fatalf("CopyFrom trace %v hops", g.Trace.Len())
+	}
+}
+
+func TestPoolGetResetsTrace(t *testing.T) {
+	p := NewPool()
+	f := p.Get(60)
+	f.Trace.Stamp(3, 300)
+	f.Release()
+	// Whatever frame comes back (recycled or fresh), its trace is clean.
+	if g := p.Get(60); g.Trace.Len() != 0 {
+		t.Fatalf("pooled frame keeps %d stale hops", g.Trace.Len())
+	}
+}
