@@ -28,6 +28,7 @@ const (
 	benchE11Dur = sim.Millisecond
 	benchE12Dur = 2 * sim.Millisecond
 	benchE13Dur = 2 * sim.Millisecond
+	benchE14Dur = sim.Millisecond
 )
 
 func BenchmarkE1LineRate(b *testing.B) {
@@ -161,6 +162,38 @@ func BenchmarkE13MultiDUTChain(b *testing.B) {
 			if row[7] != "0.00" {
 				b.Fatalf("chain lost packets: %v", row)
 			}
+		}
+	}
+}
+
+func BenchmarkE14Capture100G(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E14Capture100G(benchE14Dur)
+		for _, row := range tbl.Rows {
+			queues, frame, lossless := row[0], row[1], row[8]
+			// The tentpole claim at the bandwidth-bound frame size: one
+			// DMA queue saturates, two restore lossless thinned capture.
+			if frame == "1518" {
+				want := "true"
+				if queues == "1" {
+					want = "false"
+				}
+				if lossless != want {
+					b.Fatalf("100G capture at %s queues: lossless=%s, want %s (%v)", queues, lossless, want, row)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkMonSteer8Q isolates the multi-queue steering hot path: 64 B
+// line-rate capture spread across 8 idealised queues.
+func BenchmarkMonSteer8Q(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if experiments.SteerMicroBench(sim.Millisecond) == 0 {
+			b.Fatal("steering rig delivered nothing")
 		}
 	}
 }

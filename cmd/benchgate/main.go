@@ -1,7 +1,9 @@
 // Command benchgate is the benchmark-regression CI gate: it re-runs the
 // scaling benchmarks in-process (the same drivers BenchmarkE1LineRate,
-// BenchmarkE10TesterMesh, BenchmarkE11Rate40G, BenchmarkE12MixedRateFanIn
-// and BenchmarkE13MultiDUTChain iterate), writes the measured ns/op and
+// BenchmarkE10TesterMesh, BenchmarkE11Rate40G, BenchmarkE12MixedRateFanIn,
+// BenchmarkE13MultiDUTChain, BenchmarkE14Capture100G and the
+// BenchmarkMonSteer8Q steering micro-benchmark iterate), writes the
+// measured ns/op and
 // allocs/op to a JSON report, and compares the report against a
 // checked-in baseline with per-metric tolerances. CI fails the build when
 // a benchmark regresses past tolerance and uploads the report as an
@@ -55,6 +57,8 @@ var benchmarks = []struct {
 	{"E11Rate40G", func() { experiments.E11Rate40G(sim.Millisecond) }},
 	{"E12MixedRateFanIn", func() { experiments.E12MixedRateFanIn(2 * sim.Millisecond) }},
 	{"E13MultiDUTChain", func() { experiments.E13MultiDUTChain(2 * sim.Millisecond) }},
+	{"E14Capture100G", func() { experiments.E14Capture100G(sim.Millisecond) }},
+	{"MonSteer8Q", func() { experiments.SteerMicroBench(sim.Millisecond) }},
 }
 
 // measure runs fn count times and returns the minimum wall time and

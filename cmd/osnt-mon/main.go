@@ -1,13 +1,15 @@
 // Command osnt-mon is the OSNT traffic monitor CLI: it drives a traffic
-// source through the simulated capture pipeline — hardware wildcard
-// filters, packet thinning, hashing, the loss-limited DMA path — and
-// writes the capture to a nanosecond PCAP, printing the pipeline
-// statistics a driver would read from the card's registers.
+// source through the simulated capture engine — hardware wildcard
+// filters, packet thinning, hashing, and the loss-limited multi-queue
+// DMA path — and writes the capture to a nanosecond PCAP, printing the
+// pipeline and per-queue statistics a driver would read from the card's
+// registers.
 //
 // Examples:
 //
 //	osnt-mon -out cap.pcap -snap 64 -load 1.0 -dur 10
 //	osnt-mon -filter-dport 53 -out dns.pcap
+//	osnt-mon -queues 4 -steer hash -snap 64 -load 1.0
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"osnt/internal/packet"
 	"osnt/internal/pcap"
 	"osnt/internal/sim"
+	"osnt/internal/stats"
 	"osnt/internal/wire"
 )
 
@@ -37,8 +40,23 @@ func main() {
 	size := flag.Int("size", 512, "traffic frame size")
 	durMS := flag.Int("dur", 10, "capture duration in virtual milliseconds")
 	dport := flag.Int("filter-dport", 0, "capture only this UDP destination port (0 = all)")
-	ring := flag.Int("ring", 1024, "DMA descriptor ring size")
+	ring := flag.Int("ring", 1024, "per-queue DMA descriptor ring size")
+	queues := flag.Int("queues", 1, "DMA capture queues (per-queue ring + host core)")
+	steer := flag.String("steer", "hash", "queue steering policy: hash (RSS) or rr (round-robin)")
 	flag.Parse()
+
+	if *queues < 1 {
+		log.Fatalf("-queues %d: need at least one capture queue", *queues)
+	}
+	var policy mon.Steer
+	switch *steer {
+	case "hash":
+		policy = mon.SteerHash
+	case "rr":
+		policy = mon.SteerRoundRobin
+	default:
+		log.Fatalf("unknown -steer %q (valid: hash, rr)", *steer)
+	}
 
 	e := sim.NewEngine()
 	txCard := netfpga.New(e, netfpga.Config{})
@@ -71,11 +89,16 @@ func main() {
 	}
 
 	var captured uint64
-	monitor := mon.Attach(rxCard.Port(0), mon.Config{
+	qcfgs := make([]mon.QueueConfig, *queues)
+	for i := range qcfgs {
+		qcfgs[i] = mon.QueueConfig{RingSize: *ring}
+	}
+	monitor, err := mon.New(rxCard.Port(0), mon.Config{
 		Filters:   tbl,
 		SnapLen:   *snap,
 		HashBytes: *hashBytes,
-		RingSize:  *ring,
+		Queues:    qcfgs,
+		Steer:     policy,
 		Sink: func(rec mon.Record) {
 			captured++
 			if sink != nil {
@@ -87,6 +110,9 @@ func main() {
 			}
 		},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	spec := packet.UDPSpec{
 		SrcMAC:  packet.MAC{0x02, 0x05, 0x17, 0, 0, 0x01},
@@ -111,6 +137,29 @@ func main() {
 		monitor.Seen().Packets, monitor.Filtered(), monitor.Accepted().Packets,
 		monitor.RingDrops(), monitor.Delivered().Packets)
 	fmt.Printf("loss-limited path loss: %.2f%%\n", monitor.LossFraction()*100)
+
+	pq := stats.NewPerQueue(monitor.NumQueues())
+	for q := 0; q < monitor.NumQueues(); q++ {
+		qs := monitor.QueueStats(q)
+		pq.Set(q, qs.Seen.Packets, qs.Delivered.Packets, qs.RingDrops)
+	}
+	qt := &stats.Table{
+		Title:   fmt.Sprintf("capture queues (steer=%s)", *steer),
+		Columns: []string{"queue", "steered", "share(%)", "ring-drops", "delivered", "loss(%)"},
+	}
+	for q := 0; q < monitor.NumQueues(); q++ {
+		qs := monitor.QueueStats(q)
+		qt.AddRow(
+			fmt.Sprintf("%d", q),
+			fmt.Sprintf("%d", qs.Seen.Packets),
+			fmt.Sprintf("%.1f", pq.Share(q)*100),
+			fmt.Sprintf("%d", qs.RingDrops),
+			fmt.Sprintf("%d", qs.Delivered.Packets),
+			fmt.Sprintf("%.2f", pq.DropFraction(q)*100),
+		)
+	}
+	fmt.Println(qt.String())
+
 	if *out != "" {
 		fmt.Printf("wrote %d packets to %s\n", captured, *out)
 	}

@@ -1,11 +1,13 @@
-// Capture pipeline walkthrough: hardware wildcard filters, per-rule
-// packet thinning, hashing and the loss-limited host path.
+// Capture engine walkthrough: hardware wildcard filters, per-rule
+// packet thinning, hashing, and the multi-queue loss-limited host path.
 //
 // A mixed workload (DNS-ish UDP, web-ish TCP, bulk UDP) is captured with
-// a three-rule filter table: DNS is captured in full, web traffic is
-// thinned to headers, bulk traffic is dropped in hardware. The final
-// report shows per-rule hit counters and demonstrates that the host path
-// stays lossless because the filters shed the bulk.
+// a three-rule filter table: DNS is captured in full and pinned to its
+// own DMA queue, web traffic is thinned to headers and pinned to a
+// second queue, bulk traffic is dropped in hardware. The final report
+// shows per-rule hit counters and per-queue accounting, and demonstrates
+// that the host path stays lossless because the filters shed the bulk
+// and the pins keep each class on its own ring.
 //
 //	go run ./examples/capture-filter
 package main
@@ -29,16 +31,19 @@ func main() {
 	rxCard := netfpga.New(engine, netfpga.Config{})
 	txCard.Port(0).SetLink(wire.NewLink(engine, wire.Rate10G, 0, rxCard.Port(0)))
 
-	// Hardware filter table, first match wins.
+	// Hardware filter table, first match wins. PinQueue steers each
+	// captured class to its own DMA queue (1-based queue numbers).
 	rules := filter.NewTable(filter.Drop)
 	must(rules.Append(&filter.Rule{
 		Name: "dns-full", Action: filter.Capture,
 		Proto: packet.ProtoUDP, DstPortMin: 53, DstPortMax: 53,
+		PinQueue: 1,
 	}))
 	must(rules.Append(&filter.Rule{
 		Name: "web-headers", Action: filter.Capture,
 		Proto: packet.ProtoTCP, DstPortMin: 80, DstPortMax: 80,
-		SnapLen: 64, // per-rule packet thinning
+		SnapLen:  64, // per-rule packet thinning
+		PinQueue: 2,
 	}))
 	must(rules.Append(&filter.Rule{
 		Name: "bulk-drop", Action: filter.Drop, Proto: packet.ProtoUDP,
@@ -48,7 +53,11 @@ func main() {
 	monitor := mon.Attach(rxCard.Port(0), mon.Config{
 		Filters:   rules,
 		HashBytes: 64,
-		Sink:      func(rec mon.Record) { byLen[len(rec.Data)]++ },
+		Queues: []mon.QueueConfig{
+			{}, // queue 0: dns-full pins here
+			{}, // queue 1: web-headers pins here
+		},
+		Sink: func(rec mon.Record) { byLen[len(rec.Data)]++ },
 	})
 
 	// Build the mixed workload: one template per class, round-robin.
@@ -93,6 +102,12 @@ func main() {
 	fmt.Printf("\npipeline: seen=%d filtered=%d accepted=%d ring-drops=%d delivered=%d\n",
 		monitor.Seen().Packets, monitor.Filtered(), monitor.Accepted().Packets,
 		monitor.RingDrops(), monitor.Delivered().Packets)
+	fmt.Println("\ncapture queues (rule-pinned steering):")
+	for q := 0; q < monitor.NumQueues(); q++ {
+		qs := monitor.QueueStats(q)
+		fmt.Printf("  queue %d: steered=%d ring-drops=%d delivered=%d\n",
+			q, qs.Seen.Packets, qs.RingDrops, qs.Delivered.Packets)
+	}
 	fmt.Println("\ncaptured record sizes (thinning at work):")
 	for l, n := range byLen {
 		fmt.Printf("  %4d bytes x %d\n", l, n)

@@ -55,13 +55,18 @@ func (d *Device) ConfigureGenerator(port int, cfg gen.Config) (*gen.Generator, e
 	return g, nil
 }
 
-// ConfigureMonitor installs a capture pipeline on a port, replacing any
-// previous one.
+// ConfigureMonitor installs a capture engine on a port, replacing any
+// previous one. Invalid capture configurations (mon.New's validation,
+// including queue counts beyond the card's DMA budget) surface as
+// errors.
 func (d *Device) ConfigureMonitor(port int, cfg mon.Config) (*mon.Monitor, error) {
 	if port < 0 || port >= d.Card.NumPorts() {
 		return nil, fmt.Errorf("core: port %d out of range", port)
 	}
-	m := mon.Attach(d.Card.Port(port), cfg)
+	m, err := mon.New(d.Card.Port(port), cfg)
+	if err != nil {
+		return nil, err
+	}
 	if d.mons == nil {
 		d.mons = make(map[int]*mon.Monitor)
 	}
@@ -242,11 +247,14 @@ func (t *ThroughputTest) Run() (*ThroughputResult, error) {
 		t.Duration = 10 * sim.Millisecond
 	}
 	// Counting at the RX MAC (not the host ring) measures the DUT, not
-	// the capture path: make the host path effectively infinite.
+	// the capture path: one capture queue with an effectively infinite
+	// host.
 	m, err := t.Device.ConfigureMonitor(t.RxPort, mon.Config{
-		RingSize:      1 << 30,
-		HostPerPacket: sim.Picosecond,
-		HostPerByte:   -1, // negative = zero cost (see mon.Config)
+		Queues: []mon.QueueConfig{{
+			RingSize:      1 << 30,
+			HostPerPacket: sim.Picosecond,
+			HostPerByte:   -1, // negative = zero cost (see mon.QueueConfig)
+		}},
 	})
 	if err != nil {
 		return nil, err

@@ -36,6 +36,7 @@ func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
 		{"E11", func() *stats.Table { return E11Rate40G(sim.Millisecond) }},
 		{"E12", func() *stats.Table { return E12MixedRateFanIn(2 * sim.Millisecond) }},
 		{"E13", func() *stats.Table { return E13MultiDUTChain(2 * sim.Millisecond) }},
+		{"E14", func() *stats.Table { return E14Capture100G(sim.Millisecond) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -101,7 +101,7 @@ func E10TesterMesh(duration sim.Duration) *stats.Table {
 		for c := 0; c < cards; c++ {
 			for p := 0; p < e10PortsPerCard; p++ {
 				port := t.Port(refs[c*e10PortsPerCard+p])
-				mons = append(mons, mon.Attach(port, mon.Config{SnapLen: 64}))
+				mons = append(mons, t.AttachMonitor(refs[c*e10PortsPerCard+p], mon.Config{SnapLen: 64}))
 				spec := probeSpec
 				spec.SrcMAC = e10MAC(c, p)
 				spec.DstMAC = e10MAC(e10DstCard(c, p, cards), p)

@@ -105,8 +105,8 @@ func E12MixedRateFanIn(duration sim.Duration) *stats.Table {
 		}
 		upLat := stats.NewHistogram()
 		downLat := stats.NewHistogram()
-		upMon := mon.Attach(t.Port("srv:0"), idealCapture(latencySink(upLat)))
-		downMon := mon.Attach(t.Port(osntPorts[0]), idealCapture(latencySink(downLat)))
+		upMon := t.AttachMonitor("srv:0", idealCapture(latencySink(upLat)))
+		downMon := t.AttachMonitor(osntPorts[0], idealCapture(latencySink(downLat)))
 
 		newGen := func(port string, spec packet.UDPSpec, rate wire.Rate, load float64, seed int) *gen.Generator {
 			slot := wire.SerializationTime(e12FrameSize, rate)

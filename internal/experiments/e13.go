@@ -82,7 +82,7 @@ func E13MultiDUTChain(duration sim.Duration) *stats.Table {
 		total := stats.NewHistogram()
 		// The decomposition measures the chain, not the capture ring, so
 		// no probe may be lost to DMA: the shared idealised host applies.
-		m := mon.Attach(t.Port("osnt:1"), idealCapture(func(rec mon.Record) {
+		m := t.AttachMonitor("osnt:1", idealCapture(func(rec mon.Record) {
 			ts, ok := gen.ExtractTimestamp(rec.Data, gen.DefaultTimestampOffset)
 			if !ok || rec.Trace.Len() != n {
 				return

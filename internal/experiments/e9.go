@@ -62,7 +62,7 @@ func pairScalingSweep(title string, rate wire.Rate, pairCounts, frameSizes []int
 		mons := make([]*mon.Monitor, pairs)
 		for p := 0; p < pairs; p++ {
 			txp := t.Port(osntPorts[2*p])
-			mons[p] = mon.Attach(t.Port(osntPorts[2*p+1]), mon.Config{SnapLen: 64})
+			mons[p] = t.AttachMonitor(osntPorts[2*p+1], mon.Config{SnapLen: 64})
 			spec := probeSpec
 			spec.SrcPort = uint16(5000 + p)
 			g, err := gen.New(txp, gen.Config{

@@ -1,7 +1,8 @@
 // Package experiments regenerates every quantitative claim of the paper
 // (DESIGN.md's per-experiment index, E1–E8) plus the scaling sweeps the
 // testbed enables beyond it (E9 multi-port, E10 tester mesh, E11 40G
-// ports, E12 mixed-rate fan-in, E13 multi-DUT chain decomposition).
+// ports, E12 mixed-rate fan-in, E13 multi-DUT chain decomposition, E14
+// 100G multi-queue capture).
 // Each driver declares its rig as an internal/topo scenario
 // graph, runs the workload in virtual time and returns a printable table
 // whose shape can be compared against the paper; the cmd/osnt-bench
@@ -61,16 +62,19 @@ func init() {
 }
 
 // idealCapture is the monitor configuration for sweeps that measure the
-// DUT rather than the capture path (cf. core.ThroughputTest): an
-// effectively infinite ring drained at zero cost, thinned to 64 B (the
-// embedded timestamp at offset 42..50 survives), so every MAC-captured
-// frame reaches the sink. E12 and E13 share it; changing the
-// idealisation recipe in one place keeps their figures comparable.
+// DUT rather than the capture path (cf. core.ThroughputTest): one
+// capture queue with an effectively infinite ring drained at zero cost,
+// thinned to 64 B (the embedded timestamp at offset 42..50 survives), so
+// every MAC-captured frame reaches the sink. E12 and E13 share it;
+// changing the idealisation recipe in one place keeps their figures
+// comparable.
 func idealCapture(sink func(mon.Record)) mon.Config {
 	return mon.Config{
-		RingSize:       1 << 20,
-		HostPerPacket:  sim.Picosecond,
-		HostPerByte:    -1,
+		Queues: []mon.QueueConfig{{
+			RingSize:      1 << 20,
+			HostPerPacket: sim.Picosecond,
+			HostPerByte:   -1,
+		}},
 		SnapLen:        64,
 		RecycleRecords: true,
 		Sink:           sink,
@@ -401,8 +405,8 @@ func E7CapturePath(duration sim.Duration) *stats.Table {
 		cfg  mon.Config
 	}
 	pipes := []pipeline{
-		{"full packets", mon.Config{RingSize: 128}},
-		{"thin 64B", mon.Config{RingSize: 128, SnapLen: 64}},
+		{"full packets", mon.Config{Queues: []mon.QueueConfig{{RingSize: 128}}}},
+		{"thin 64B", mon.Config{Queues: []mon.QueueConfig{{RingSize: 128}}, SnapLen: 64}},
 	}
 	loads := []float64{0.2, 0.5, 0.8, 1.0}
 	tbl.Rows = sweeper().Rows(len(loads)*len(pipes), func(i int) [][]string {
@@ -414,7 +418,7 @@ func E7CapturePath(duration sim.Duration) *stats.Table {
 			Tester("rx", netfpga.Config{}).
 			Link("tx:0", "rx:0").
 			MustBuild(e)
-		monitor := mon.Attach(t.Port("rx:0"), p.cfg)
+		monitor := t.AttachMonitor("rx:0", p.cfg)
 		g, err := gen.New(t.Port("tx:0"), gen.Config{
 			Source:  &gen.UDPFlowSource{Spec: probeSpec, FrameSize: 1518},
 			Spacing: gen.CBRForLoad(1518, wire.Rate10G, load),
@@ -484,5 +488,6 @@ func All() []*stats.Table {
 		E11Rate40G(0),
 		E12MixedRateFanIn(0),
 		E13MultiDUTChain(0),
+		E14Capture100G(0),
 	}
 }

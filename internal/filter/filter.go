@@ -66,6 +66,12 @@ type Rule struct {
 	// accepted by this rule (0 = monitor default). This reproduces
 	// OSNT's per-filter packet-cutting configuration.
 	SnapLen int
+
+	// PinQueue steers packets accepted by this rule to capture queue
+	// PinQueue-1, overriding the monitor's steering policy — the
+	// rule-based queue steering ("flow director") of multi-queue NICs.
+	// 0 is no pin; the monitor rejects pins beyond its queue count.
+	PinQueue int
 }
 
 // Validate reports configuration errors a hardware driver would reject.
@@ -84,6 +90,9 @@ func (r *Rule) Validate() error {
 	}
 	if r.SnapLen < 0 {
 		return fmt.Errorf("filter: negative snap length")
+	}
+	if r.PinQueue < 0 {
+		return fmt.Errorf("filter: negative queue pin")
 	}
 	return nil
 }

@@ -218,6 +218,7 @@ func TestValidate(t *testing.T) {
 		{SrcPortMin: 10, SrcPortMax: 5},
 		{DstPortMin: 10, DstPortMax: 5},
 		{SnapLen: -2},
+		{PinQueue: -1},
 	}
 	for i, r := range bad {
 		if err := r.Validate(); err == nil {
@@ -231,6 +232,10 @@ func TestValidate(t *testing.T) {
 	good := &Rule{Proto: packet.ProtoUDP, DstPortMin: 53, DstPortMax: 53}
 	if err := good.Validate(); err != nil {
 		t.Errorf("good rule rejected: %v", err)
+	}
+	pinned := &Rule{Proto: packet.ProtoUDP, PinQueue: 4}
+	if err := pinned.Validate(); err != nil {
+		t.Errorf("queue-pinned rule rejected: %v", err)
 	}
 }
 

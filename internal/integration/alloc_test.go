@@ -6,6 +6,8 @@ import (
 	"osnt/internal/gen"
 	"osnt/internal/mon"
 	"osnt/internal/netfpga"
+	"osnt/internal/ofswitch"
+	"osnt/internal/openflow"
 	"osnt/internal/race"
 	"osnt/internal/sim"
 	"osnt/internal/wire"
@@ -66,6 +68,103 @@ func TestPerPacketPathZeroAlloc(t *testing.T) {
 	gets, _, fresh := pool.Stats()
 	if fresh >= gets {
 		t.Errorf("pool never recycled: %d gets, %d fresh", gets, fresh)
+	}
+}
+
+// TestMultiQueuePathZeroAlloc extends the zero-alloc bound to the
+// multi-queue capture engine: 64 B line rate hash-steered across four
+// per-queue DMA rings (8 flows so the RSS spread is real). The rings run
+// over capacity, so the drop path, the per-queue drain events and the
+// per-queue buffer recycling are all on the measured path.
+func TestMultiQueuePathZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("sync.Pool drops Puts under -race; strict alloc bound only holds in normal builds")
+	}
+	pool := wire.NewPool()
+	e := sim.NewEngine()
+	card := netfpga.New(e, netfpga.Config{Ports: 2})
+	card.Port(0).SetLink(wire.NewLink(e, wire.Rate10G, 0, card.Port(1)))
+	m := mon.Attach(card.Port(1), mon.Config{
+		SnapLen: 64,
+		Queues:  make([]mon.QueueConfig, 4), // nil sinks → buffers recycle
+	})
+	g, err := gen.New(card.Port(0), gen.Config{
+		Source:  &gen.UDPFlowSource{Spec: spec, NumFlows: 8, FrameSize: 64},
+		Spacing: gen.CBRForLoad(64, wire.Rate10G, 1.0),
+		Pool:    pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(0)
+
+	e.RunFor(200 * sim.Microsecond) // warm-up
+
+	const span = sim.Millisecond
+	interval := gen.CBRForLoad(64, wire.Rate10G, 1.0).Interval
+	pktPerSpan := float64(span) / float64(interval)
+	avg := testing.AllocsPerRun(5, func() {
+		e.RunFor(span)
+	})
+	perPacket := avg / pktPerSpan
+	t.Logf("allocs: %.1f per %0.f-packet span = %.4f/packet", avg, pktPerSpan, perPacket)
+	if perPacket > 0.01 {
+		t.Errorf("multi-queue path allocates %.4f/packet, want ~0", perPacket)
+	}
+	for q := 0; q < m.NumQueues(); q++ {
+		if m.QueueStats(q).Seen.Packets == 0 {
+			t.Errorf("queue %d was never steered to — hash spread is degenerate", q)
+		}
+	}
+}
+
+// TestOFSwitchDataplaneZeroAlloc pins the dataplane satellite: pooled
+// generator → OpenFlow switch (single-output rule, E8-style per-packet
+// CPU tax) → capture port must stay at ~0 allocations per packet once
+// warmed — no per-packet Clone, egress event, or queue churn.
+func TestOFSwitchDataplaneZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("sync.Pool drops Puts under -race; strict alloc bound only holds in normal builds")
+	}
+	pool := wire.NewPool()
+	e := sim.NewEngine()
+	card := netfpga.New(e, netfpga.Config{Ports: 2})
+	sw := ofswitch.New(e, ofswitch.Config{DataplaneCPUTax: 150 * sim.Nanosecond})
+	card.Port(0).SetLink(wire.NewLink(e, wire.Rate10G, 0, sw.Port(0)))
+	sw.Port(1).SetLink(wire.NewLink(e, wire.Rate10G, 0, card.Port(1)))
+	m := mon.Attach(card.Port(1), mon.Config{SnapLen: 64}) // nil sink → recycle
+	sw.Table().Add(&ofswitch.Entry{
+		Match: openflow.MatchAll(), Priority: 1,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}},
+	})
+	g, err := gen.New(card.Port(0), gen.Config{
+		Source:  &gen.UDPFlowSource{Spec: spec, FrameSize: 64},
+		Spacing: gen.CBRForLoad(64, wire.Rate10G, 1.0),
+		Pool:    pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(0)
+
+	e.RunFor(200 * sim.Microsecond) // warm-up
+
+	const span = sim.Millisecond
+	interval := gen.CBRForLoad(64, wire.Rate10G, 1.0).Interval
+	pktPerSpan := float64(span) / float64(interval)
+	avg := testing.AllocsPerRun(5, func() {
+		e.RunFor(span)
+	})
+	perPacket := avg / pktPerSpan
+	t.Logf("allocs: %.1f per %0.f-packet span = %.4f/packet", avg, pktPerSpan, perPacket)
+	if perPacket > 0.01 {
+		t.Errorf("ofswitch dataplane allocates %.4f/packet, want ~0 (per-packet Clone/event back?)", perPacket)
+	}
+	if m.Seen().Packets == 0 {
+		t.Fatal("monitor saw no packets — rig is miswired")
+	}
+	if sw.Forwarded().Packets == 0 {
+		t.Fatal("switch forwarded nothing")
 	}
 }
 

@@ -1,18 +1,33 @@
-// Package mon implements the OSNT traffic monitoring subsystem: packets
-// are timestamped on receipt by the MAC (done in netfpga.Port, minimising
-// queueing noise), pass through the hardware wildcard filter table, are
-// optionally thinned (cut to a snap length) and hashed, and finally cross
-// a loss-limited DMA path into the host, where a software sink consumes
-// capture records.
+// Package mon implements the OSNT traffic monitoring subsystem as a
+// capture engine: packets are timestamped on receipt by the MAC (done in
+// netfpga.Port, minimising queueing noise), pass through the hardware
+// wildcard filter table, are optionally thinned (cut to a snap length)
+// and hashed, and finally cross a loss-limited DMA path into the host,
+// where software sinks consume capture records.
 //
 // The DMA path is the part the paper calls "a loss-limited path that gets
-// (a subset of) captured packets into the host": a bounded descriptor
-// ring drained at host speed. When capture demand exceeds what the host
-// can drain, the ring overflows and drops are counted — exactly the
-// behaviour hardware filtering and thinning exist to avoid.
+// (a subset of) captured packets into the host". Beyond 10 Gb/s a single
+// descriptor ring drained by one host core cannot keep up even with
+// thinned packets, so the engine spreads one port's capture across up to
+// netfpga.Config.CaptureQueues independent queues — each with its own
+// bounded descriptor ring, host drain rate and drop accounting, exactly
+// the per-queue DMA + RSS steering structure of >10G NIC capture stacks.
+// A deterministic steering stage assigns every accepted packet to a
+// queue: hash-based RSS over the hardware digest (one flow, one queue),
+// strict round-robin, or a filter rule pinning its matches to a queue.
+// When capture demand exceeds what a queue's host core can drain, that
+// ring overflows and its drops are counted — exactly the behaviour
+// hardware filtering, thinning and now multi-queue DMA exist to avoid.
+//
+// The single-ring configuration of earlier revisions remains the
+// shorthand: a Config without Queues behaves as one queue built from the
+// top-level RingSize/HostPerPacket/HostPerByte/Sink fields, bit-identical
+// to the old API.
 package mon
 
 import (
+	"fmt"
+
 	"osnt/internal/filter"
 	"osnt/internal/netfpga"
 	"osnt/internal/packet"
@@ -37,6 +52,9 @@ type Record struct {
 	Delivered sim.Time
 	// Port is the card port that captured the packet.
 	Port int
+	// Queue is the capture queue whose ring carried the record (0 on a
+	// single-queue monitor).
+	Queue int
 	// Rule is the index of the filter rule that accepted the packet, or
 	// -1 for the default action.
 	Rule int
@@ -49,9 +67,51 @@ type Record struct {
 	Trace wire.HopTrace
 }
 
+// Steer selects the policy distributing accepted packets across capture
+// queues. All policies are deterministic, so multi-queue captures stay
+// reproducible packet for packet.
+type Steer uint8
+
+const (
+	// SteerHash spreads packets by the hardware digest (RSS-style): one
+	// flow always lands on one queue, preserving per-flow record order.
+	// When Config.HashBytes is 0 the steering stage hashes the first
+	// SteerHashBytes of the (possibly thinned) packet internally without
+	// publishing a digest in Record.Hash.
+	SteerHash Steer = iota
+	// SteerRoundRobin deals accepted packets across queues in strict
+	// rotation — perfectly balanced, but one flow's records interleave
+	// across queues (hardware timestamps restore global order).
+	SteerRoundRobin
+)
+
+// SteerHashBytes is how many leading packet bytes the SteerHash policy
+// digests when Config.HashBytes is 0: enough to cover the L2–L4 headers
+// that distinguish flows.
+const SteerHashBytes = 64
+
+// QueueConfig parameterises one capture queue: a DMA descriptor ring
+// drained by its own host core. Zero-valued fields inherit the Config's
+// top-level single-queue values (which in turn default as documented
+// there), so []QueueConfig{{}, {}} declares two default queues.
+type QueueConfig struct {
+	// RingSize is the queue's descriptor ring capacity in packets.
+	RingSize int
+	// HostPerPacket is this queue's fixed host cost per record.
+	HostPerPacket sim.Duration
+	// HostPerByte is this queue's per-byte DMA/copy cost. A negative
+	// value selects zero cost (an idealised infinitely fast host).
+	HostPerByte sim.Duration
+	// Sink receives this queue's records in delivery order; nil falls
+	// back to the Config-level Sink.
+	Sink func(Record)
+}
+
 // Config parameterises a Monitor.
 type Config struct {
 	// Filters is the hardware wildcard table; nil captures everything.
+	// A rule whose PinQueue is set steers its matches to that queue,
+	// overriding the Steer policy.
 	Filters *filter.Table
 	// SnapLen thins captured packets to this many bytes (0 = full
 	// packet). Per-rule SnapLen overrides take precedence.
@@ -65,51 +125,82 @@ type Config struct {
 	ThinBeforeFilter bool
 
 	// RingSize is the DMA descriptor ring capacity in packets (default
-	// 1024).
+	// 1024). With Queues set it is the per-queue default instead.
 	RingSize int
 	// HostPerPacket is the host-side fixed cost to consume one record:
 	// DMA completion, ring bookkeeping, syscall amortisation (default
-	// 120 ns).
+	// 120 ns). With Queues set it is the per-queue default instead.
 	HostPerPacket sim.Duration
 	// HostPerByte is the per-byte DMA/copy cost (default 0.8 ns/B,
 	// ≈1.25 GB/s effective host path — the reason 10 Gb/s line-rate
-	// capture needs thinning). A negative value selects zero cost (an
+	// capture needs thinning, and one host core tops out near 6 Mpps
+	// even on thinned packets). A negative value selects zero cost (an
 	// idealised infinitely fast host, used when a test wants to count at
-	// the MAC rather than model the host).
+	// the MAC rather than model the host). With Queues set it is the
+	// per-queue default instead.
 	HostPerByte sim.Duration
 
-	// Sink receives records in delivery order. A nil sink still models
-	// the ring (records are counted and discarded at the host).
+	// Queues, when non-empty, declares one capture queue per entry and
+	// turns the three fields above into per-queue defaults. Leaving it
+	// nil is the single-queue shorthand: one queue built from the
+	// top-level fields, the exact behaviour of the old single-ring API.
+	Queues []QueueConfig
+	// Steer picks the steering policy across queues (default SteerHash).
+	// Irrelevant with a single queue.
+	Steer Steer
+
+	// Sink receives records in delivery order; queues without their own
+	// QueueConfig.Sink share it. A nil sink still models the ring
+	// (records are counted and discarded at the host).
 	Sink func(Record)
 
 	// RecycleRecords returns each record's Data buffer to an internal
-	// free list once the Sink has returned, making the steady-state
-	// capture path allocation-free. The Sink must then copy any bytes it
-	// keeps past the callback. Always on when Sink is nil (nobody can
-	// retain the buffer).
+	// per-queue free list once the Sink has returned, making the
+	// steady-state capture path allocation-free. The Sink must then copy
+	// any bytes it keeps past the callback. Always on for queues whose
+	// effective sink is nil (nobody can retain the buffer).
 	RecycleRecords bool
 }
 
-func (c *Config) fill() {
-	if c.RingSize == 0 {
-		c.RingSize = 1024
+// Validate reports configuration errors: negative ring or host-cost
+// parameters (top-level or per-queue) and an explicitly empty Queues
+// slice. A negative HostPerByte is legal (it means zero cost).
+func (c *Config) Validate() error {
+	if c.RingSize < 0 {
+		return fmt.Errorf("mon: negative RingSize %d", c.RingSize)
 	}
-	if c.HostPerPacket == 0 {
-		c.HostPerPacket = 120 * sim.Nanosecond
+	if c.HostPerPacket < 0 {
+		return fmt.Errorf("mon: negative HostPerPacket %v", c.HostPerPacket)
 	}
-	if c.HostPerByte == 0 {
-		c.HostPerByte = sim.Picoseconds(800)
+	if c.Steer > SteerRoundRobin {
+		return fmt.Errorf("mon: unknown Steer policy %d", c.Steer)
 	}
-	if c.HostPerByte < 0 {
-		c.HostPerByte = 0
+	if c.Queues != nil && len(c.Queues) == 0 {
+		return fmt.Errorf("mon: Queues set but empty (omit it for the single-queue shorthand)")
 	}
+	for i, q := range c.Queues {
+		if q.RingSize < 0 {
+			return fmt.Errorf("mon: queue %d: negative RingSize %d", i, q.RingSize)
+		}
+		if q.HostPerPacket < 0 {
+			return fmt.Errorf("mon: queue %d: negative HostPerPacket %v", i, q.HostPerPacket)
+		}
+	}
+	return nil
 }
 
-// Monitor is the capture pipeline attached to one card port.
-type Monitor struct {
-	port *netfpga.Port
-	cfg  Config
-	eng  *sim.Engine
+// queue is one capture queue: an independent head-indexed descriptor
+// ring drained by its own reusable DMA event, with its own drop
+// accounting and buffer free list.
+type queue struct {
+	m   *Monitor
+	idx int
+
+	ringSize  int
+	perPacket sim.Duration
+	perByte   sim.Duration
+	sink      func(Record)
+	recycle   bool
 
 	// ring is a head-indexed FIFO: head advances on delivery and the
 	// tail grows by append; pending occupancy is len(ring)-head. The
@@ -120,24 +211,128 @@ type Monitor struct {
 	draining bool
 	drainEv  *sim.Event // reusable: at most one DMA completion in flight
 
-	// bufFree recycles record buffers when cfg.RecycleRecords (or a nil
-	// Sink) allows it; bounded by the ring capacity.
+	// bufFree recycles record buffers when the queue's recycle flag
+	// allows it; bounded by the ring capacity.
 	bufFree [][]byte
-	recycle bool
 
-	seen      stats.Counter // all frames presented to the pipeline
-	accepted  stats.Counter // past the filter stage
-	filtered  uint64        // dropped by filter verdict
+	seen      stats.Counter // accepted packets steered to this queue
+	accepted  stats.Counter // admitted to the descriptor ring
 	ringDrops uint64        // lost to ring overflow
 	delivered stats.Counter // reached the host sink
 }
 
-// Attach builds a monitor on the port, taking over its OnReceive hook.
-func Attach(port *netfpga.Port, cfg Config) *Monitor {
-	cfg.fill()
+// QueueStats is one capture queue's accounting, the per-queue view of
+// the loss-limited path.
+type QueueStats struct {
+	// Seen counts accepted packets the steering stage sent this queue.
+	Seen stats.Counter
+	// Accepted counts packets admitted to the descriptor ring.
+	Accepted stats.Counter
+	// RingDrops counts packets lost to this queue's ring overflow.
+	RingDrops uint64
+	// Delivered counts records this queue's host core consumed.
+	Delivered stats.Counter
+	// Depth is the instantaneous ring occupancy.
+	Depth int
+}
+
+// Monitor is the capture engine attached to one card port.
+type Monitor struct {
+	port *netfpga.Port
+	cfg  Config
+	eng  *sim.Engine
+
+	queues []queue
+	rr     int // round-robin cursor
+
+	seen     stats.Counter // all frames presented to the pipeline
+	accepted stats.Counter // past the filter stage
+	filtered uint64        // dropped by filter verdict
+}
+
+// New builds a capture engine on the port, taking over its OnReceive
+// hook. It rejects invalid configurations: Validate errors, more queues
+// than the card's per-port DMA budget (netfpga.Config.CaptureQueues),
+// and filter rules pinning a queue the monitor does not have.
+func New(port *netfpga.Port, cfg Config) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nq := len(cfg.Queues)
+	if nq == 0 {
+		nq = 1
+	}
+	if budget := port.Card().CaptureQueues(); nq > budget {
+		return nil, fmt.Errorf("mon: %d capture queues exceed the card's per-port DMA budget of %d", nq, budget)
+	}
+	if cfg.Filters != nil {
+		for i := 0; i < cfg.Filters.Len(); i++ {
+			if pin := cfg.Filters.Rule(i).PinQueue; pin > nq {
+				return nil, fmt.Errorf("mon: filter rule %d pins queue %d, but the monitor has %d queue(s)", i, pin, nq)
+			}
+		}
+	}
+
 	m := &Monitor{port: port, cfg: cfg, eng: port.Card().Engine}
-	m.recycle = cfg.RecycleRecords || cfg.Sink == nil
+
+	// Resolve the per-queue defaults once: top-level fields fill from
+	// the documented single-queue defaults, then each queue inherits
+	// whatever it leaves zero.
+	ringDef := cfg.RingSize
+	if ringDef == 0 {
+		ringDef = 1024
+	}
+	ppDef := cfg.HostPerPacket
+	if ppDef == 0 {
+		ppDef = 120 * sim.Nanosecond
+	}
+	pbDef := cfg.HostPerByte
+	if pbDef == 0 {
+		pbDef = sim.Picoseconds(800)
+	}
+	qcfgs := cfg.Queues
+	if len(qcfgs) == 0 {
+		qcfgs = []QueueConfig{{}}
+	}
+	m.queues = make([]queue, len(qcfgs))
+	for i, qc := range qcfgs {
+		q := &m.queues[i]
+		q.m, q.idx = m, i
+		q.ringSize = qc.RingSize
+		if q.ringSize == 0 {
+			q.ringSize = ringDef
+		}
+		q.perPacket = qc.HostPerPacket
+		if q.perPacket == 0 {
+			q.perPacket = ppDef
+		}
+		q.perByte = qc.HostPerByte
+		if q.perByte == 0 {
+			q.perByte = pbDef
+		}
+		if q.perByte < 0 {
+			q.perByte = 0 // negative selects the idealised zero-cost host
+		}
+		q.sink = qc.Sink
+		if q.sink == nil {
+			q.sink = cfg.Sink
+		}
+		q.recycle = cfg.RecycleRecords || q.sink == nil
+	}
+
 	port.OnReceive = m.onReceive
+	return m, nil
+}
+
+// Attach is New panicking on configuration errors — the spelling for
+// rigs whose capture configuration is static, and the package's original
+// constructor: Attach(port, Config{}) still builds the default
+// single-ring monitor.
+func Attach(port *netfpga.Port, cfg Config) *Monitor {
+	m, err := New(port, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return m
 }
 
@@ -172,30 +367,81 @@ func (m *Monitor) onReceive(f *wire.Frame, at sim.Time, ts timing.Timestamp) {
 		hash = packet.PacketDigest(data, m.cfg.HashBytes)
 	}
 
-	m.accepted.Add(wire.WireBytes(f.Size))
+	wb := wire.WireBytes(f.Size)
+	m.accepted.Add(wb)
 
-	if len(m.ring)-m.head >= m.cfg.RingSize {
-		m.ringDrops++
+	q := m.steer(data, ruleIdx, hash)
+	q.seen.Add(wb)
+
+	if len(q.ring)-q.head >= q.ringSize {
+		q.ringDrops++
 		return
 	}
+	q.accepted.Add(wb)
 	// The descriptor ring owns a copy: the frame buffer belongs to the
 	// datapath and may be reused.
-	cp := m.getBuf(len(data))
+	cp := q.getBuf(len(data))
 	copy(cp, data)
-	m.ring = append(m.ring, Record{
+	q.ring = append(q.ring, Record{
 		Data: cp, WireSize: f.Size, TS: ts, Arrival: at,
-		Port: m.port.Index(), Rule: ruleIdx, Hash: hash, Trace: f.Trace,
+		Port: m.port.Index(), Queue: q.idx, Rule: ruleIdx, Hash: hash,
+		Trace: f.Trace,
 	})
-	m.drain()
+	q.drain()
+}
+
+// steer picks the capture queue for one accepted packet: rule pins win,
+// then the configured policy. Single-queue monitors skip the stage
+// entirely, so the shorthand path computes nothing the old API did not.
+func (m *Monitor) steer(data []byte, ruleIdx int, hash uint64) *queue {
+	nq := len(m.queues)
+	if nq == 1 {
+		return &m.queues[0]
+	}
+	if ruleIdx >= 0 {
+		if pin := m.cfg.Filters.Rule(ruleIdx).PinQueue; pin > 0 {
+			// New validates the pins present at attach time, but the
+			// table stays live (rules may be appended mid-capture, as on
+			// real hardware), so an out-of-range pin wraps
+			// deterministically instead of panicking the hot path.
+			return &m.queues[(pin-1)%nq]
+		}
+	}
+	if m.cfg.Steer == SteerRoundRobin {
+		q := &m.queues[m.rr]
+		m.rr++
+		if m.rr == nq {
+			m.rr = 0
+		}
+		return q
+	}
+	if m.cfg.HashBytes <= 0 {
+		hash = packet.PacketDigest(data, SteerHashBytes)
+	}
+	return &m.queues[int(mix64(hash)%uint64(nq))]
+}
+
+// mix64 whitens the hardware digest before the queue modulo (the RSS
+// indirection step): FNV's low bits are weak on structured header input
+// — flows differing only in a port number can share a low-bit residue,
+// collapsing onto few queues — so the avalanche finaliser (Murmur3's)
+// spreads every digest bit into the queue selector.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
 }
 
 // getBuf returns a buffer of length n, recycled from delivered records
 // when the configuration allows it.
-func (m *Monitor) getBuf(n int) []byte {
-	if k := len(m.bufFree); k > 0 {
-		b := m.bufFree[k-1]
-		m.bufFree[k-1] = nil
-		m.bufFree = m.bufFree[:k-1]
+func (q *queue) getBuf(n int) []byte {
+	if k := len(q.bufFree); k > 0 {
+		b := q.bufFree[k-1]
+		q.bufFree[k-1] = nil
+		q.bufFree = q.bufFree[:k-1]
 		if cap(b) >= n {
 			return b[:n]
 		}
@@ -203,46 +449,47 @@ func (m *Monitor) getBuf(n int) []byte {
 	return make([]byte, n)
 }
 
-// drain models the host consuming the ring one record at a time.
-func (m *Monitor) drain() {
-	if m.draining || len(m.ring) == m.head {
+// drain models this queue's host core consuming the ring one record at
+// a time.
+func (q *queue) drain() {
+	if q.draining || len(q.ring) == q.head {
 		return
 	}
-	m.draining = true
-	cost := m.cfg.HostPerPacket + sim.Duration(len(m.ring[m.head].Data))*m.cfg.HostPerByte
-	if m.drainEv == nil {
-		m.drainEv = m.eng.ScheduleAfter(cost, m.drainDone)
+	q.draining = true
+	cost := q.perPacket + sim.Duration(len(q.ring[q.head].Data))*q.perByte
+	if q.drainEv == nil {
+		q.drainEv = q.m.eng.ScheduleAfter(cost, q.drainDone)
 	} else {
-		m.eng.RescheduleAfter(m.drainEv, cost)
+		q.m.eng.RescheduleAfter(q.drainEv, cost)
 	}
 }
 
 // drainDone is the DMA-completion handler for the record at the ring
 // head.
-func (m *Monitor) drainDone() {
-	rec := m.ring[m.head]
-	m.ring[m.head] = Record{}
-	m.head++
+func (q *queue) drainDone() {
+	rec := q.ring[q.head]
+	q.ring[q.head] = Record{}
+	q.head++
 	// Compact once the dead prefix dominates a non-trivial ring, so the
 	// backing array stays proportional to occupancy.
-	if m.head >= 256 && m.head*2 >= len(m.ring) {
-		n := copy(m.ring, m.ring[m.head:])
-		for i := n; i < len(m.ring); i++ {
-			m.ring[i] = Record{}
+	if q.head >= 256 && q.head*2 >= len(q.ring) {
+		n := copy(q.ring, q.ring[q.head:])
+		for i := n; i < len(q.ring); i++ {
+			q.ring[i] = Record{}
 		}
-		m.ring = m.ring[:n]
-		m.head = 0
+		q.ring = q.ring[:n]
+		q.head = 0
 	}
-	rec.Delivered = m.eng.Now()
-	m.delivered.Add(rec.WireSize)
-	if m.cfg.Sink != nil {
-		m.cfg.Sink(rec)
+	rec.Delivered = q.m.eng.Now()
+	q.delivered.Add(rec.WireSize)
+	if q.sink != nil {
+		q.sink(rec)
 	}
-	if m.recycle {
-		m.bufFree = append(m.bufFree, rec.Data[:0])
+	if q.recycle {
+		q.bufFree = append(q.bufFree, rec.Data[:0])
 	}
-	m.draining = false
-	m.drain()
+	q.draining = false
+	q.drain()
 }
 
 // Seen returns counters over every frame presented to the pipeline.
@@ -254,20 +501,56 @@ func (m *Monitor) Accepted() stats.Counter { return m.accepted }
 // Filtered returns the number of frames dropped by filter verdicts.
 func (m *Monitor) Filtered() uint64 { return m.filtered }
 
-// RingDrops returns frames lost to DMA ring overflow — the loss-limited
-// path's loss counter.
-func (m *Monitor) RingDrops() uint64 { return m.ringDrops }
+// NumQueues returns the number of capture queues.
+func (m *Monitor) NumQueues() int { return len(m.queues) }
 
-// Delivered returns counters over records that reached the host sink.
-func (m *Monitor) Delivered() stats.Counter { return m.delivered }
+// QueueStats returns queue i's accounting.
+func (m *Monitor) QueueStats(i int) QueueStats {
+	q := &m.queues[i]
+	return QueueStats{
+		Seen:      q.seen,
+		Accepted:  q.accepted,
+		RingDrops: q.ringDrops,
+		Delivered: q.delivered,
+		Depth:     len(q.ring) - q.head,
+	}
+}
 
-// RingDepth returns the instantaneous ring occupancy.
-func (m *Monitor) RingDepth() int { return len(m.ring) - m.head }
+// RingDrops returns frames lost to DMA ring overflow across all queues —
+// the loss-limited path's loss counter.
+func (m *Monitor) RingDrops() uint64 {
+	var n uint64
+	for i := range m.queues {
+		n += m.queues[i].ringDrops
+	}
+	return n
+}
+
+// Delivered returns counters over records that reached the host sinks,
+// summed across queues.
+func (m *Monitor) Delivered() stats.Counter {
+	var c stats.Counter
+	for i := range m.queues {
+		c.Packets += m.queues[i].delivered.Packets
+		c.Bytes += m.queues[i].delivered.Bytes
+	}
+	return c
+}
+
+// RingDepth returns the instantaneous ring occupancy summed across
+// queues.
+func (m *Monitor) RingDepth() int {
+	d := 0
+	for i := range m.queues {
+		d += len(m.queues[i].ring) - m.queues[i].head
+	}
+	return d
+}
 
 // LossFraction returns ring drops as a fraction of accepted frames.
 func (m *Monitor) LossFraction() float64 {
 	if m.accepted.Packets == 0 {
 		return 0
 	}
-	return float64(m.ringDrops) / float64(m.accepted.Packets)
+	return float64(m.RingDrops()) / float64(m.accepted.Packets)
 }

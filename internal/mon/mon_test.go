@@ -8,6 +8,7 @@ import (
 	"osnt/internal/netfpga"
 	"osnt/internal/packet"
 	"osnt/internal/sim"
+	"osnt/internal/stats"
 	"osnt/internal/wire"
 )
 
@@ -271,6 +272,440 @@ func TestRecordDataIsCopied(t *testing.T) {
 		if r.recs[0].Data[i] != d0[i] {
 			t.Fatal("record buffers alias")
 		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero config", Config{}, true},
+		{"negative ring", Config{RingSize: -1}, false},
+		{"negative host per packet", Config{HostPerPacket: -sim.Nanosecond}, false},
+		{"negative host per byte is zero-cost", Config{HostPerByte: -1}, true},
+		{"empty queues slice", Config{Queues: []QueueConfig{}}, false},
+		{"one default queue", Config{Queues: []QueueConfig{{}}}, true},
+		{"queue negative ring", Config{Queues: []QueueConfig{{}, {RingSize: -5}}}, false},
+		{"queue negative host per packet", Config{Queues: []QueueConfig{{HostPerPacket: -1}}}, false},
+		{"queue negative host per byte is zero-cost", Config{Queues: []QueueConfig{{HostPerByte: -1}}}, true},
+		{"eight queues", Config{Queues: make([]QueueConfig, 8)}, true},
+		{"unknown steer policy", Config{Steer: Steer(9), Queues: make([]QueueConfig, 2)}, false},
+		{"round robin", Config{Steer: SteerRoundRobin, Queues: make([]QueueConfig, 2)}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("Validate() accepted an invalid config")
+			}
+			// New must agree with Validate on a real port.
+			e := sim.NewEngine()
+			card := netfpga.New(e, netfpga.Config{})
+			_, err = New(card.Port(0), tc.cfg)
+			if tc.ok != (err == nil) {
+				t.Fatalf("New() error = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestNewRejectsQueueBudgetAndBadPins(t *testing.T) {
+	e := sim.NewEngine()
+	card := netfpga.New(e, netfpga.Config{}) // CaptureQueues default 8
+	if _, err := New(card.Port(0), Config{Queues: make([]QueueConfig, 9)}); err == nil {
+		t.Fatal("nine queues accepted against a budget of eight")
+	}
+	// Raising the card's budget legalises the same config.
+	big := netfpga.New(e, netfpga.Config{CaptureQueues: 16})
+	if _, err := New(big.Port(0), Config{Queues: make([]QueueConfig, 9)}); err != nil {
+		t.Fatalf("nine queues rejected under a budget of sixteen: %v", err)
+	}
+	// A filter rule pinning a queue the monitor lacks is a config error.
+	tbl := filter.NewTable(filter.Capture)
+	if err := tbl.Append(&filter.Rule{Action: filter.Capture, PinQueue: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(card.Port(1), Config{Filters: tbl, Queues: make([]QueueConfig, 2)}); err == nil {
+		t.Fatal("pin to queue 3 accepted on a 2-queue monitor")
+	}
+	if _, err := New(card.Port(1), Config{Filters: tbl, Queues: make([]QueueConfig, 4)}); err != nil {
+		t.Fatalf("valid pin rejected: %v", err)
+	}
+}
+
+func TestAttachPanicsOnInvalidConfig(t *testing.T) {
+	e := sim.NewEngine()
+	card := netfpga.New(e, netfpga.Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Attach accepted a negative ring size")
+		}
+	}()
+	Attach(card.Port(0), Config{RingSize: -1})
+}
+
+// multiQueueRig wires the gen→mon loopback with an N-queue monitor and a
+// multi-flow workload, recording every record per queue.
+func multiQueueRig(t *testing.T, cfg Config, flows, frameSize int, load float64) (*rig, *gen.Generator, *[][]Record) {
+	t.Helper()
+	r := &rig{e: sim.NewEngine()}
+	r.tx = netfpga.New(r.e, netfpga.Config{})
+	r.rx = netfpga.New(r.e, netfpga.Config{})
+	r.tx.Port(0).SetLink(wire.NewLink(r.e, wire.Rate10G, 0, r.rx.Port(0)))
+	byQueue := make([][]Record, len(cfg.Queues))
+	if cfg.Sink == nil {
+		cfg.Sink = func(rec Record) { byQueue[rec.Queue] = append(byQueue[rec.Queue], rec) }
+	}
+	r.mon = Attach(r.rx.Port(0), cfg)
+	g, err := gen.New(r.tx.Port(0), gen.Config{
+		Source:  &gen.UDPFlowSource{Spec: spec, NumFlows: flows, FrameSize: frameSize},
+		Spacing: gen.CBRForLoad(frameSize, wire.Rate10G, load),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, g, &byQueue
+}
+
+func TestSingleQueueShorthandEquivalence(t *testing.T) {
+	// The explicit one-entry Queues config and the legacy shorthand must
+	// produce bit-identical captures: same records, same delivery
+	// instants, same counters.
+	run := func(cfg Config) (recs []Record, drops uint64) {
+		r := &rig{e: sim.NewEngine()}
+		r.tx = netfpga.New(r.e, netfpga.Config{})
+		r.rx = netfpga.New(r.e, netfpga.Config{})
+		r.tx.Port(0).SetLink(wire.NewLink(r.e, wire.Rate10G, 0, r.rx.Port(0)))
+		cfg.Sink = func(rec Record) {
+			rec.Data = append([]byte(nil), rec.Data...)
+			recs = append(recs, rec)
+		}
+		m := Attach(r.rx.Port(0), cfg)
+		g, err := gen.New(r.tx.Port(0), gen.Config{
+			Source:  &gen.UDPFlowSource{Spec: spec, NumFlows: 4, FrameSize: 1518},
+			Spacing: gen.CBRForLoad(1518, wire.Rate10G, 1.0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start(0)
+		r.e.RunUntil(2 * sim.Time(sim.Millisecond))
+		g.Stop()
+		r.e.Run()
+		return recs, m.RingDrops()
+	}
+	oldShape, oldDrops := run(Config{RingSize: 64})
+	newShape, newDrops := run(Config{Queues: []QueueConfig{{RingSize: 64}}})
+	if oldDrops == 0 {
+		t.Fatal("rig under-loaded: want ring overflow in both shapes")
+	}
+	if oldDrops != newDrops {
+		t.Fatalf("drops diverge: shorthand %d, Queues %d", oldDrops, newDrops)
+	}
+	if len(oldShape) != len(newShape) {
+		t.Fatalf("record counts diverge: %d vs %d", len(oldShape), len(newShape))
+	}
+	for i := range oldShape {
+		a, b := oldShape[i], newShape[i]
+		if a.Delivered != b.Delivered || a.TS != b.TS || a.WireSize != b.WireSize ||
+			a.Queue != b.Queue || string(a.Data) != string(b.Data) {
+			t.Fatalf("record %d diverges:\n%+v\nvs\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestHashSteeringPerFlowAffinity(t *testing.T) {
+	cfg := Config{Queues: make([]QueueConfig, 4), SnapLen: 64}
+	r, g, byQueue := multiQueueRig(t, cfg, 16, 256, 0.2)
+	g.Start(0)
+	r.e.RunUntil(2 * sim.Time(sim.Millisecond))
+	g.Stop()
+	r.e.Run()
+
+	// Every flow's records must land on exactly one queue (RSS affinity),
+	// and with 16 flows over 4 queues every queue should see traffic.
+	flowQueue := map[uint16]int{}
+	total := 0
+	for q, recs := range *byQueue {
+		if len(recs) == 0 {
+			t.Errorf("queue %d never steered to", q)
+		}
+		for _, rec := range recs {
+			total++
+			if rec.Queue != q {
+				t.Fatalf("record carries Queue=%d but arrived on sink view %d", rec.Queue, q)
+			}
+			srcPort := uint16(rec.Data[34])<<8 | uint16(rec.Data[35])
+			if prev, seen := flowQueue[srcPort]; seen && prev != q {
+				t.Fatalf("flow %d split across queues %d and %d", srcPort, prev, q)
+			}
+			flowQueue[srcPort] = q
+		}
+	}
+	if total == 0 || uint64(total) != r.mon.Delivered().Packets {
+		t.Fatalf("sinks saw %d records, monitor delivered %d", total, r.mon.Delivered().Packets)
+	}
+	if len(flowQueue) != 16 {
+		t.Fatalf("saw %d flows, want 16", len(flowQueue))
+	}
+}
+
+func TestRoundRobinSteeringBalanced(t *testing.T) {
+	cfg := Config{Queues: make([]QueueConfig, 4), Steer: SteerRoundRobin, SnapLen: 64}
+	r, g, byQueue := multiQueueRig(t, cfg, 1, 256, 0.2)
+	g.Start(0)
+	r.e.RunUntil(sim.Time(sim.Millisecond))
+	g.Stop()
+	r.e.Run()
+	if r.mon.RingDrops() != 0 {
+		t.Fatalf("low-rate capture dropped %d", r.mon.RingDrops())
+	}
+	min, max := -1, 0
+	for q := range *byQueue {
+		n := len((*byQueue)[q])
+		if min < 0 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("round-robin imbalance: min %d max %d", min, max)
+	}
+}
+
+func TestRulePinnedSteeringOverridesPolicy(t *testing.T) {
+	tbl := filter.NewTable(filter.Capture)
+	// Pin the generator's first flow to queue 2 (1-based); everything
+	// else falls through to the default action and hash steering.
+	_ = tbl.Append(&filter.Rule{
+		Action: filter.Capture, Proto: packet.ProtoUDP,
+		SrcPortMin: 5000, SrcPortMax: 5000,
+		PinQueue: 2,
+	})
+	cfg := Config{Filters: tbl, Queues: make([]QueueConfig, 4), SnapLen: 64}
+	r, g, byQueue := multiQueueRig(t, cfg, 8, 256, 0.2)
+	g.Start(0)
+	r.e.RunUntil(2 * sim.Time(sim.Millisecond))
+	g.Stop()
+	r.e.Run()
+
+	pinned := 0
+	for q, recs := range *byQueue {
+		for _, rec := range recs {
+			srcPort := uint16(rec.Data[34])<<8 | uint16(rec.Data[35])
+			if srcPort == 5000 {
+				pinned++
+				if q != 1 {
+					t.Fatalf("pinned flow landed on queue %d, want 1", q)
+				}
+				if rec.Rule != 0 {
+					t.Fatalf("pinned record rule %d", rec.Rule)
+				}
+			}
+		}
+	}
+	if pinned == 0 {
+		t.Fatal("pinned flow never captured")
+	}
+	qs := r.mon.QueueStats(1)
+	if qs.Seen.Packets < uint64(pinned) {
+		t.Fatalf("queue 1 stats %+v, want at least the %d pinned records", qs, pinned)
+	}
+}
+
+func TestLateAppendedOutOfRangePinWraps(t *testing.T) {
+	// The filter table stays live after Attach; a rule appended later
+	// with a pin beyond the queue count must steer deterministically
+	// in range, not panic the capture path.
+	tbl := filter.NewTable(filter.Capture)
+	cfg := Config{Filters: tbl, Queues: make([]QueueConfig, 2), SnapLen: 64}
+	r, g, _ := multiQueueRig(t, cfg, 1, 256, 0.1)
+	if err := tbl.Append(&filter.Rule{Action: filter.Capture, Proto: packet.ProtoUDP, PinQueue: 7}); err != nil {
+		t.Fatal(err)
+	}
+	g.Start(0)
+	r.e.RunUntil(200 * sim.Time(sim.Microsecond))
+	g.Stop()
+	r.e.Run()
+	if r.mon.Delivered().Packets == 0 {
+		t.Fatal("nothing captured")
+	}
+	// pin 7 on 2 queues wraps to (7-1)%2 = queue 0.
+	if got := r.mon.QueueStats(0).Delivered.Packets; got != r.mon.Delivered().Packets {
+		t.Fatalf("wrapped pin delivered %d of %d to queue 0", got, r.mon.Delivered().Packets)
+	}
+}
+
+func TestPerQueueSinksAndStats(t *testing.T) {
+	// Per-queue sinks see exactly their queue's records, and the
+	// QueueStats sum matches the monitor-level aggregates.
+	var q0, q1 int
+	cfg := Config{
+		Queues: []QueueConfig{
+			{Sink: func(rec Record) {
+				q0++
+				if rec.Queue != 0 {
+					panic("queue 0 sink got a foreign record")
+				}
+			}},
+			{Sink: func(rec Record) {
+				q1++
+				if rec.Queue != 1 {
+					panic("queue 1 sink got a foreign record")
+				}
+			}},
+		},
+		Steer:   SteerRoundRobin,
+		SnapLen: 64,
+	}
+	r, g, _ := multiQueueRig(t, cfg, 1, 512, 0.1)
+	g.Start(0)
+	r.e.RunUntil(sim.Time(sim.Millisecond))
+	g.Stop()
+	r.e.Run()
+	if q0 == 0 || q1 == 0 {
+		t.Fatalf("per-queue sinks saw %d/%d", q0, q1)
+	}
+	var sumSeen, sumDel stats.Counter
+	var sumDrops uint64
+	for q := 0; q < r.mon.NumQueues(); q++ {
+		qs := r.mon.QueueStats(q)
+		sumSeen.Packets += qs.Seen.Packets
+		sumSeen.Bytes += qs.Seen.Bytes
+		sumDel.Packets += qs.Delivered.Packets
+		sumDel.Bytes += qs.Delivered.Bytes
+		sumDrops += qs.RingDrops
+	}
+	if sumSeen != r.mon.Accepted() {
+		t.Fatalf("steered sum %+v != accepted %+v", sumSeen, r.mon.Accepted())
+	}
+	if sumDel != r.mon.Delivered() {
+		t.Fatalf("delivered sum %+v != aggregate %+v", sumDel, r.mon.Delivered())
+	}
+	if sumDrops != r.mon.RingDrops() {
+		t.Fatalf("drop sum %d != aggregate %d", sumDrops, r.mon.RingDrops())
+	}
+	if uint64(q0+q1) != sumDel.Packets {
+		t.Fatalf("sinks saw %d, stats say %d", q0+q1, sumDel.Packets)
+	}
+}
+
+func TestRingCompactionAcrossThreshold(t *testing.T) {
+	// Sustained overload walks the ring head far past the 256-record
+	// compaction threshold while live records sit behind it. Compaction
+	// must neither lose nor corrupt records, and the backing array must
+	// stay proportional to the ring capacity instead of the packet
+	// count.
+	r, g := newRig(t, Config{RingSize: 512}, 1518, 1.0)
+	g.Start(0)
+	r.e.RunUntil(20 * sim.Time(sim.Millisecond))
+	g.Stop()
+	r.e.Run()
+
+	q := &r.mon.queues[0]
+	if r.mon.RingDrops() == 0 {
+		t.Fatal("rig under-loaded: the ring never overflowed")
+	}
+	if got := r.mon.QueueStats(0); got.Depth != 0 {
+		t.Fatalf("ring not drained: depth %d", got.Depth)
+	}
+	if delivered := uint64(len(r.recs)); delivered != r.mon.Delivered().Packets {
+		t.Fatalf("sink saw %d, monitor delivered %d", len(r.recs), r.mon.Delivered().Packets)
+	}
+	if acc := r.mon.QueueStats(0).Accepted.Packets; acc != r.mon.Delivered().Packets {
+		t.Fatalf("accepted %d != delivered %d after drain", acc, r.mon.Delivered().Packets)
+	}
+	// Thousands of records flowed through; a leak of the dead prefix
+	// would leave cap(ring) proportional to that count.
+	if c := cap(q.ring); c > 4*512 {
+		t.Fatalf("ring backing array grew to %d slots for a 512-deep ring (compaction rotted?)", c)
+	}
+	last := sim.Time(0)
+	for i, rec := range r.recs {
+		if rec.WireSize != 1518 {
+			t.Fatalf("record %d corrupted: wire size %d", i, rec.WireSize)
+		}
+		if rec.Delivered < last {
+			t.Fatalf("record %d delivered out of order", i)
+		}
+		last = rec.Delivered
+	}
+}
+
+func TestRecycleRecordsSinkMustCopy(t *testing.T) {
+	// With RecycleRecords on, a sink that retains rec.Data sees the
+	// buffer rewritten by later captures — the documented contract that
+	// retained bytes must be copied out. The flows cycle, so a reused
+	// buffer's content provably changes.
+	var retained []byte
+	var original []byte
+	cfg := Config{
+		RecycleRecords: true,
+		SnapLen:        64,
+		Queues: []QueueConfig{{
+			Sink: func(rec Record) {
+				if retained == nil {
+					retained = rec.Data
+					original = append([]byte(nil), rec.Data...)
+				}
+			},
+		}},
+	}
+	r, g, _ := multiQueueRig(t, cfg, 4, 256, 0.2)
+	g.Start(0)
+	r.e.RunUntil(sim.Time(sim.Millisecond))
+	g.Stop()
+	r.e.Run()
+	if retained == nil {
+		t.Fatal("no records")
+	}
+	if r.mon.Delivered().Packets < 4 {
+		t.Fatal("need several records to observe reuse")
+	}
+	if string(retained) == string(original) {
+		t.Fatal("retained buffer unchanged: RecycleRecords never reused it")
+	}
+	// The internal free list is actually in rotation.
+	if len(r.mon.queues[0].bufFree) == 0 && r.mon.QueueStats(0).Depth == 0 {
+		t.Fatal("free list empty after drain: recycling is not happening")
+	}
+}
+
+func TestNilSinkRecyclesBuffers(t *testing.T) {
+	// A nil sink forces recycling regardless of the flag: the steady
+	// state must rotate a bounded buffer set, not allocate per record.
+	r := &rig{e: sim.NewEngine()}
+	r.tx = netfpga.New(r.e, netfpga.Config{})
+	r.rx = netfpga.New(r.e, netfpga.Config{})
+	r.tx.Port(0).SetLink(wire.NewLink(r.e, wire.Rate10G, 0, r.rx.Port(0)))
+	m := Attach(r.rx.Port(0), Config{SnapLen: 64})
+	g, err := gen.New(r.tx.Port(0), gen.Config{
+		Source:  &gen.UDPFlowSource{Spec: spec, FrameSize: 256},
+		Spacing: gen.CBR{Interval: 5 * sim.Microsecond},
+		Count:   500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(0)
+	r.e.Run()
+	if m.Delivered().Packets != 500 {
+		t.Fatalf("delivered %d", m.Delivered().Packets)
+	}
+	q := &m.queues[0]
+	if len(q.bufFree) == 0 {
+		t.Fatal("nil-sink monitor kept no free buffers")
+	}
+	// One record in flight at a time → one buffer in rotation.
+	if len(q.bufFree) > 2 {
+		t.Fatalf("free list holds %d buffers for a 1-deep steady state", len(q.bufFree))
 	}
 }
 

@@ -28,6 +28,11 @@ type Config struct {
 	// The generator paces itself, so the queue only fills when software
 	// offers more than line rate.
 	TxQueueCap int
+	// CaptureQueues is the per-port DMA capture queue budget (default
+	// 8): how many independent descriptor rings the card's DMA engine
+	// can expose for one port's capture. mon.Attach validates its queue
+	// count against it.
+	CaptureQueues int
 }
 
 func (c *Config) fill() {
@@ -42,6 +47,9 @@ func (c *Config) fill() {
 	}
 	if c.TxQueueCap == 0 {
 		c.TxQueueCap = 8192
+	}
+	if c.CaptureQueues == 0 {
+		c.CaptureQueues = 8
 	}
 }
 
@@ -83,6 +91,9 @@ func (c *Card) Port(i int) *Port { return c.ports[i] }
 
 // Rate returns the per-port line rate.
 func (c *Card) Rate() wire.Rate { return c.cfg.Rate }
+
+// CaptureQueues returns the per-port DMA capture queue budget.
+func (c *Card) CaptureQueues() int { return c.cfg.CaptureQueues }
 
 // Port is one 10GbE interface: a TX queue feeding a MAC, and an RX MAC
 // that timestamps every arriving frame.

@@ -27,6 +27,12 @@ func TestCardDefaults(t *testing.T) {
 			t.Fatal("port wiring")
 		}
 	}
+	if c.CaptureQueues() != 8 {
+		t.Fatalf("capture queue budget = %d, want 8", c.CaptureQueues())
+	}
+	if New(e, Config{CaptureQueues: 2}).CaptureQueues() != 2 {
+		t.Fatal("capture queue budget override ignored")
+	}
 }
 
 func TestPortTransmitTimestampLatch(t *testing.T) {

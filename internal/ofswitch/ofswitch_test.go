@@ -337,6 +337,68 @@ func TestHeaderRewriteActions(t *testing.T) {
 	}
 }
 
+func TestRewriteAfterOutputDoesNotCorruptQueuedFrame(t *testing.T) {
+	// A rewrite action AFTER an output must not mutate the frame already
+	// handed to the egress queue: [output:2, set_dl_dst X] transmits the
+	// original bytes, exactly as the clone-per-output dataplane did.
+	r := newRig(t, Config{})
+	r.ctl.Send(&openflow.FlowMod{
+		Match: openflow.MatchAll(), Command: openflow.FCAdd, Priority: 1,
+		BufferID: 0xffffffff, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{
+			&openflow.ActionOutput{Port: 2},
+			&openflow.ActionSetDlAddr{TypeCode: openflow.ActTypeSetDlDst, Addr: packet.MAC{9, 9, 9, 9, 9, 9}},
+		},
+	}, 1)
+	r.e.Run()
+	r.in.Transmit(wire.NewFrame(probe(80, 256)))
+	r.e.Run()
+	if len(r.rxD) != 1 {
+		t.Fatal("no delivery")
+	}
+	var eth packet.Ethernet
+	if err := eth.DecodeFromBytes(r.rxD[0]); err != nil {
+		t.Fatal(err)
+	}
+	if eth.Dst != macB {
+		t.Fatalf("trailing rewrite leaked into the transmitted frame: dst %v", eth.Dst)
+	}
+}
+
+func TestControllerOutputAfterPortOutput(t *testing.T) {
+	// [output:2, output:CONTROLLER]: the port egress and the PACKET_IN
+	// must both carry the probe's bytes — the trailing controller read
+	// must not race the frame handed to (or dropped by) the egress
+	// queue.
+	r := newRig(t, Config{})
+	r.ctl.Send(&openflow.FlowMod{
+		Match: openflow.MatchAll(), Command: openflow.FCAdd, Priority: 1,
+		BufferID: 0xffffffff, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{
+			&openflow.ActionOutput{Port: 2},
+			&openflow.ActionOutput{Port: openflow.PortController, MaxLen: 64},
+		},
+	}, 1)
+	r.e.Run()
+	want := probe(80, 256)
+	r.msgs = nil
+	r.in.Transmit(wire.NewFrame(want))
+	r.e.Run()
+	if len(r.rxD) != 1 || string(r.rxD[0]) != string(want) {
+		t.Fatalf("port egress: %d deliveries", len(r.rxD))
+	}
+	if len(r.msgs) != 1 {
+		t.Fatalf("controller messages %d", len(r.msgs))
+	}
+	pin, ok := r.msgs[0].(*openflow.PacketIn)
+	if !ok || pin.Reason != openflow.ReasonAction {
+		t.Fatalf("got %+v", r.msgs[0])
+	}
+	if string(pin.Data) != string(want[:64]) {
+		t.Fatal("PACKET_IN prefix does not match the probe")
+	}
+}
+
 func TestVlanPushRewriteStrip(t *testing.T) {
 	f := wire.NewFrame(probe(80, 128))
 	origSize := f.Size

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"osnt/internal/openflow"
+	"osnt/internal/ring"
 	"osnt/internal/sim"
 	"osnt/internal/stats"
 	"osnt/internal/wire"
@@ -249,9 +250,13 @@ type Port struct {
 	sw    *Switch
 	index int
 
-	link  *wire.Link
-	queue []*wire.Frame
+	link *wire.Link
+	// queue is the egress FIFO: head-indexed with a recycled backing
+	// array, drained by one reusable event per port, so steady-state
+	// egress queueing allocates nothing per packet.
+	queue ring.FIFO[*wire.Frame]
 	busy  bool
+	txEv  *sim.Event // reusable: at most one transmission in flight
 	drops uint64
 
 	rx stats.Counter
@@ -277,12 +282,17 @@ func (p *Port) RxStats() stats.Counter { return p.rx }
 // TxStats returns the transmit counters.
 func (p *Port) TxStats() stats.Counter { return p.tx }
 
-// Receive implements wire.Endpoint: dataplane packet arrival.
+// Receive implements wire.Endpoint: dataplane packet arrival. The
+// switch owns the delivered frame: it is either forwarded onward (the
+// egress link carries it to the next device) or released back to its
+// pool on every drop path, so the dataplane stays allocation-free under
+// load.
 func (p *Port) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
 	p.rx.Add(f.Size)
 	s := p.sw
 	key, err := openflow.KeyFromPacket(f.Data, p.OFPort())
 	if err != nil {
+		f.Release()
 		return // unparseable runt: dropped
 	}
 	if s.cfg.DataplaneCPUTax > 0 {
@@ -293,9 +303,11 @@ func (p *Port) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
 		s.misses++
 		if s.ctl == nil {
 			s.dropsNoRule++
+			f.Release()
 			return
 		}
-		// Slow path: the CPU builds a PACKET_IN.
+		// Slow path: the CPU builds a PACKET_IN from a copied prefix;
+		// the frame itself goes no further.
 		data := f.Data
 		if len(data) > s.cfg.MissSendLen {
 			data = data[:s.cfg.MissSendLen]
@@ -304,6 +316,7 @@ func (p *Port) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
 		copy(cp, data)
 		total := uint16(len(f.Data))
 		inPort := p.OFPort()
+		f.Release()
 		s.cpuRun(s.cfg.PacketInCost, func() {
 			s.ctl.fromSwitch(&openflow.PacketIn{
 				BufferID: 0xffffffff, TotalLen: total, InPort: inPort,
@@ -315,29 +328,83 @@ func (p *Port) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
 	entry.Packets++
 	entry.Bytes += uint64(f.Size)
 	entry.LastUsed = at
-	out := f
 	ready := at.Add(s.cfg.PipelineLatency)
-	s.applyActions(entry.Actions, out, p, ready)
+	s.applyActions(entry.Actions, f, p, ready)
 }
 
 // applyActions executes an OF 1.0 action list on a frame arriving on
-// ingress in, with forwarding allowed from instant ready.
+// ingress in, with forwarding allowed from instant ready. The switch
+// owns the frame: header rewrites mutate it in place, every consuming
+// output before the last takes a clone of the working packet, and the
+// last one carries the frame itself — so the common single-output path
+// moves the packet through the dataplane without copying it. A frame no
+// output consumes is released back to its pool.
 func (s *Switch) applyActions(actions []openflow.Action, f *wire.Frame, in *Port, ready sim.Time) {
-	cur := f
-	for _, a := range actions {
-		switch act := a.(type) {
-		case *openflow.ActionOutput:
-			s.output(act, cur.Clone(), in, ready)
-		default:
-			// Header rewrites mutate the working copy carried forward to
-			// subsequent outputs, per OF semantics.
-			cur = cur.Clone()
-			rewriteFrame(cur, a)
+	last := -1
+	for i, a := range actions {
+		if act, ok := a.(*openflow.ActionOutput); ok && s.consumesFrame(act, in) {
+			last = i
 		}
+	}
+	// Ownership may transfer at the last consuming output only when it
+	// is the final action: a later rewrite would mutate a frame already
+	// sitting in an egress queue, and a later controller output would
+	// read a frame the queue (or its overflow Release) no longer
+	// guarantees. Those action-list-pathological cases fall back to
+	// cloning at every output and releasing the working frame at the
+	// end; the common lists — rewrites first, one output last — keep
+	// the zero-copy path.
+	transfer := last >= 0 && last == len(actions)-1
+	for i, a := range actions {
+		if act, ok := a.(*openflow.ActionOutput); ok {
+			s.output(act, f, in, ready, transfer && i == last)
+		} else {
+			rewriteFrame(f, a)
+		}
+	}
+	if !transfer {
+		f.Release()
 	}
 }
 
-func (s *Switch) output(act *openflow.ActionOutput, f *wire.Frame, in *Port, ready sim.Time) {
+// lastFloodEligible returns the highest port index a flood from ingress
+// in reaches (-1 when none): the single source of truth for both the
+// ownership accounting and the flood fan-out itself.
+func (s *Switch) lastFloodEligible(in *Port) int {
+	last := -1
+	for i, p := range s.ports {
+		if p != in && p.link != nil {
+			last = i
+		}
+	}
+	return last
+}
+
+// consumesFrame reports whether an output action will take ownership of
+// the working frame, i.e. hand it to at least one egress queue. The
+// controller port only copies a prefix, and reserved/unknown ports drop.
+func (s *Switch) consumesFrame(act *openflow.ActionOutput, in *Port) bool {
+	switch {
+	case act.Port == openflow.PortFlood || act.Port == openflow.PortAll:
+		return s.lastFloodEligible(in) >= 0
+	case act.Port == openflow.PortInPort:
+		return true
+	case act.Port >= 1 && int(act.Port) <= len(s.ports):
+		return true
+	default:
+		return false
+	}
+}
+
+// output applies one output action. own marks the action that inherits
+// the working frame; every other consumer clones it.
+func (s *Switch) output(act *openflow.ActionOutput, f *wire.Frame, in *Port, ready sim.Time, own bool) {
+	take := func() *wire.Frame {
+		if own {
+			return f
+		}
+		return f.Clone()
+	}
 	switch {
 	case act.Port == openflow.PortController:
 		if s.ctl != nil {
@@ -358,42 +425,47 @@ func (s *Switch) output(act *openflow.ActionOutput, f *wire.Frame, in *Port, rea
 			})
 		}
 	case act.Port == openflow.PortFlood || act.Port == openflow.PortAll:
-		for _, p := range s.ports {
+		lastEligible := s.lastFloodEligible(in)
+		for i, p := range s.ports {
 			if p == in || p.link == nil {
 				continue
 			}
-			p.enqueue(f.Clone(), ready)
+			if i == lastEligible {
+				p.enqueue(take(), ready)
+			} else {
+				p.enqueue(f.Clone(), ready)
+			}
 		}
 	case act.Port == openflow.PortInPort:
-		in.enqueue(f, ready)
+		in.enqueue(take(), ready)
 	case act.Port >= 1 && int(act.Port) <= len(s.ports):
-		s.ports[act.Port-1].enqueue(f, ready)
+		s.ports[act.Port-1].enqueue(take(), ready)
 	default:
-		// PortNone / unsupported reserved port: drop.
+		// PortNone / unsupported reserved port: drop (applyActions
+		// releases the frame if nothing consumed it).
 	}
 }
 
 func (p *Port) enqueue(f *wire.Frame, earliest sim.Time) {
 	if p.link == nil {
+		f.Release()
 		return // unconnected port: black hole, as hardware would
 	}
-	if len(p.queue) >= p.sw.cfg.EgressQueueCap {
+	if p.queue.Len() >= p.sw.cfg.EgressQueueCap {
 		p.drops++
+		f.Release()
 		return
 	}
 	f.SrcPort = p.index
-	p.queue = append(p.queue, f)
+	p.queue.Push(f)
 	p.sendFrom(earliest)
 }
 
 func (p *Port) sendFrom(earliest sim.Time) {
-	if p.busy || len(p.queue) == 0 {
+	if p.busy || p.queue.Len() == 0 {
 		return
 	}
-	f := p.queue[0]
-	copy(p.queue, p.queue[1:])
-	p.queue[len(p.queue)-1] = nil
-	p.queue = p.queue[:len(p.queue)-1]
+	f := p.queue.Pop()
 	p.busy = true
 	end := p.link.TransmitAt(f, earliest)
 	p.tx.Add(f.Size)
@@ -402,10 +474,16 @@ func (p *Port) sendFrom(earliest sim.Time) {
 	if now := p.sw.Engine.Now(); eventAt < now {
 		eventAt = now
 	}
-	p.sw.Engine.Schedule(eventAt, func() {
-		p.busy = false
-		p.sendFrom(p.sw.Engine.Now())
-	})
+	if p.txEv == nil {
+		p.txEv = p.sw.Engine.Schedule(eventAt, p.txDone)
+	} else {
+		p.sw.Engine.Reschedule(p.txEv, eventAt)
+	}
+}
+
+func (p *Port) txDone() {
+	p.busy = false
+	p.sendFrom(p.sw.Engine.Now())
 }
 
 // String describes the switch.

@@ -47,6 +47,7 @@ import (
 	"strings"
 
 	"osnt/internal/core"
+	"osnt/internal/mon"
 	"osnt/internal/netfpga"
 	"osnt/internal/ofswitch"
 	"osnt/internal/sim"
@@ -536,6 +537,21 @@ func (t *Topology) Port(ref string) *netfpga.Port {
 		panic(fmt.Sprintf("topo: node %q is a %s, not a tester", ep.n.name, ep.n.kind))
 	}
 	return ep.n.tester.Card.Port(ep.port)
+}
+
+// AttachMonitor attaches a capture engine to a tester port declared in
+// the graph — the mon.Attach spelling for declarative rigs. The monitor
+// configuration is validated per node: mon.New rejects negative ring or
+// host-cost parameters, and a queue count beyond the card's per-port DMA
+// budget (netfpga.Config.CaptureQueues) is a configuration error here,
+// not a silent truncation. Invalid references or configs panic with a
+// topo-level message, like Port and MustBuild.
+func (t *Topology) AttachMonitor(ref string, cfg mon.Config) *mon.Monitor {
+	m, err := mon.New(t.Port(ref), cfg)
+	if err != nil {
+		panic(fmt.Sprintf("topo: monitor on %s: %v", ref, err))
+	}
+	return m
 }
 
 // Sink is a terminal endpoint: it counts every delivered frame and

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"osnt/internal/gen"
+	"osnt/internal/mon"
 	"osnt/internal/netfpga"
 	"osnt/internal/ofswitch"
 	"osnt/internal/packet"
@@ -191,6 +192,66 @@ func TestHandlePanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// AttachMonitor validates the capture configuration per monitor node:
+// queue counts are checked against the card's DMA budget, reference and
+// config errors panic with topo-level messages, and a valid attach wires
+// a working capture engine.
+func TestAttachMonitorValidatesQueues(t *testing.T) {
+	e := sim.NewEngine()
+	tp := New().
+		Tester("osnt", netfpga.Config{Ports: 2, CaptureQueues: 4}).
+		Tester("tx", netfpga.Config{Ports: 1}).
+		DUT("sw", switchsim.Config{}).
+		Link("tx:0", "osnt:1").
+		Duplex("osnt:0", "sw:0").
+		MustBuild(e)
+
+	for name, fn := range map[string]func(){
+		"beyond card budget": func() {
+			tp.AttachMonitor("osnt:1", mon.Config{Queues: make([]mon.QueueConfig, 5)})
+		},
+		"negative ring": func() {
+			tp.AttachMonitor("osnt:1", mon.Config{RingSize: -1})
+		},
+		"unknown node": func() {
+			tp.AttachMonitor("nope:0", mon.Config{})
+		},
+		"not a tester": func() {
+			tp.AttachMonitor("sw:0", mon.Config{})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+
+	// Within budget: the monitor attaches and captures.
+	m := tp.AttachMonitor("osnt:1", mon.Config{Queues: make([]mon.QueueConfig, 4), Steer: mon.SteerRoundRobin})
+	g, err := gen.New(tp.Port("tx:0"), gen.Config{
+		Source:  &gen.UDPFlowSource{Spec: testSpec, FrameSize: 64},
+		Spacing: gen.CBR{Interval: 10 * sim.Microsecond},
+		Count:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(0)
+	e.Run()
+	if m.Seen().Packets != 8 {
+		t.Fatalf("monitor saw %d of 8", m.Seen().Packets)
+	}
+	for q := 0; q < m.NumQueues(); q++ {
+		if got := m.QueueStats(q).Delivered.Packets; got != 2 {
+			t.Fatalf("queue %d delivered %d, want 2 (round-robin over 4 queues)", q, got)
+		}
 	}
 }
 

@@ -37,9 +37,10 @@ type Rate int64
 
 // Standard rates.
 const (
-	Rate1G  Rate = 1_000_000_000
-	Rate10G Rate = 10_000_000_000
-	Rate40G Rate = 40_000_000_000
+	Rate1G   Rate = 1_000_000_000
+	Rate10G  Rate = 10_000_000_000
+	Rate40G  Rate = 40_000_000_000
+	Rate100G Rate = 100_000_000_000
 )
 
 // ByteTime returns the time to serialise one byte at rate r.

@@ -131,6 +131,24 @@ func TestSerializationTime40G(t *testing.T) {
 	}
 }
 
+func TestSerializationTime100G(t *testing.T) {
+	// One byte takes 80ps at 100G.
+	if got := Rate100G.ByteTime(); got != 80 {
+		t.Fatalf("100G byte time = %dps, want 80", got)
+	}
+	// 64B + 20B overhead = 84B = 6.72ns at 100G, a tenth of the 10G slot.
+	if got := SerializationTime(64, Rate100G); got != 6720 {
+		t.Fatalf("64B@100G = %vps, want 6720", int64(got))
+	}
+	// 148.81 Mpps for 64B at 100G — 10× the canonical 14.88M figure.
+	if MaxPPS(64, Rate100G) != 10*MaxPPS(64, Rate10G) {
+		t.Fatal("100G line rate is not exactly 10× the 10G line rate")
+	}
+	if Rate100G.String() != "100Gb/s" {
+		t.Fatalf("got %q", Rate100G.String())
+	}
+}
+
 // A burst of back-to-back frames must occupy a single event-heap slot:
 // the link batches deliveries through one reusable event however deep the
 // in-flight queue gets, while every frame still arrives at its exact
