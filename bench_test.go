@@ -1,6 +1,6 @@
 // Package osnt_test holds the repository-level benchmark harness: one
 // benchmark per experiment table/figure in DESIGN.md (E1–E8, plus the
-// E9–E13 scaling sweeps). Each iteration regenerates the corresponding
+// E9–E16 scaling sweeps). Each iteration regenerates the corresponding
 // table from scratch, so `go test -bench=. -benchmem` both exercises the
 // full stack and reports how much host CPU a complete experiment costs.
 // The tables themselves are printed by `go run ./cmd/osnt-bench` and
@@ -29,6 +29,8 @@ const (
 	benchE12Dur = 2 * sim.Millisecond
 	benchE13Dur = 2 * sim.Millisecond
 	benchE14Dur = sim.Millisecond
+	benchE15Dur = sim.Millisecond
+	benchE16Dur = 2 * sim.Millisecond
 )
 
 func BenchmarkE1LineRate(b *testing.B) {
@@ -183,6 +185,42 @@ func BenchmarkE14Capture100G(b *testing.B) {
 					b.Fatalf("100G capture at %s queues: lossless=%s, want %s (%v)", queues, lossless, want, row)
 				}
 			}
+		}
+	}
+}
+
+func BenchmarkE15Oversubscribed(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E15Oversubscribed(benchE15Dur)
+		for _, row := range tbl.Rows {
+			if row[8] != "true" {
+				b.Fatalf("fabric loss not conserved: %v", row)
+			}
+		}
+	}
+}
+
+func BenchmarkE16LossAttribution(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E16LossAttribution(benchE16Dur)
+		for _, row := range tbl.Rows {
+			if row[10] != "true" {
+				b.Fatalf("chain loss not conserved: %v", row)
+			}
+		}
+	}
+}
+
+// BenchmarkDUTSpray2W isolates the ECMP spray hot path: 64 B line-rate
+// traffic hashed across a two-member uplink group.
+func BenchmarkDUTSpray2W(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m0, m1 := experiments.SprayMicroBench(sim.Millisecond)
+		if m0 == 0 || m1 == 0 {
+			b.Fatalf("degenerate spray: %d/%d", m0, m1)
 		}
 	}
 }

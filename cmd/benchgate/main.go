@@ -1,9 +1,10 @@
 // Command benchgate is the benchmark-regression CI gate: it re-runs the
 // scaling benchmarks in-process (the same drivers BenchmarkE1LineRate,
 // BenchmarkE10TesterMesh, BenchmarkE11Rate40G, BenchmarkE12MixedRateFanIn,
-// BenchmarkE13MultiDUTChain, BenchmarkE14Capture100G and the
-// BenchmarkMonSteer8Q steering micro-benchmark iterate), writes the
-// measured ns/op and
+// BenchmarkE13MultiDUTChain, BenchmarkE14Capture100G,
+// BenchmarkE15Oversubscribed, BenchmarkE16LossAttribution and the
+// BenchmarkMonSteer8Q / BenchmarkDUTSpray2W micro-benchmarks iterate),
+// writes the measured ns/op and
 // allocs/op to a JSON report, and compares the report against a
 // checked-in baseline with per-metric tolerances. CI fails the build when
 // a benchmark regresses past tolerance and uploads the report as an
@@ -58,7 +59,10 @@ var benchmarks = []struct {
 	{"E12MixedRateFanIn", func() { experiments.E12MixedRateFanIn(2 * sim.Millisecond) }},
 	{"E13MultiDUTChain", func() { experiments.E13MultiDUTChain(2 * sim.Millisecond) }},
 	{"E14Capture100G", func() { experiments.E14Capture100G(sim.Millisecond) }},
+	{"E15Oversub", func() { experiments.E15Oversubscribed(sim.Millisecond) }},
+	{"E16LossAttr", func() { experiments.E16LossAttribution(2 * sim.Millisecond) }},
 	{"MonSteer8Q", func() { experiments.SteerMicroBench(sim.Millisecond) }},
+	{"DUTSpray2W", func() { experiments.SprayMicroBench(sim.Millisecond) }},
 }
 
 // measure runs fn count times and returns the minimum wall time and

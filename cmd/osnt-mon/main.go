@@ -10,6 +10,7 @@
 //	osnt-mon -out cap.pcap -snap 64 -load 1.0 -dur 10
 //	osnt-mon -filter-dport 53 -out dns.pcap
 //	osnt-mon -queues 4 -steer hash -snap 64 -load 1.0
+//	osnt-mon -losses -load 1.0         # per-hop/per-reason loss attribution
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 	ring := flag.Int("ring", 1024, "per-queue DMA descriptor ring size")
 	queues := flag.Int("queues", 1, "DMA capture queues (per-queue ring + host core)")
 	steer := flag.String("steer", "hash", "queue steering policy: hash (RSS) or rr (round-robin)")
+	losses := flag.Bool("losses", false, "print the per-hop/per-reason loss attribution table")
 	flag.Parse()
 
 	if *queues < 1 {
@@ -62,6 +64,12 @@ func main() {
 	txCard := netfpga.New(e, netfpga.Config{})
 	rxCard := netfpga.New(e, netfpga.Config{})
 	txCard.Port(0).SetLink(wire.NewLink(e, wire.Rate10G, 0, rxCard.Port(0)))
+
+	// Loss-attribution ledger over the rig's two loss points: the TX
+	// card's MAC queue and the capture engine (filter rejects + DMA
+	// ring overflow). stats.LossMap reduces it after the run.
+	ledger := &wire.DropLedger{}
+	txCard.SetDropSite(ledger, ledger.Add("tx-card"))
 
 	var sink *pcap.Writer
 	if *out != "" {
@@ -113,6 +121,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	monitor.SetDropSite(ledger, ledger.Add("mon"))
 
 	spec := packet.UDPSpec{
 		SrcMAC:  packet.MAC{0x02, 0x05, 0x17, 0, 0, 0x01},
@@ -159,6 +168,15 @@ func main() {
 		)
 	}
 	fmt.Println(qt.String())
+
+	if *losses {
+		// Conservation closes over the whole rig: every frame the
+		// generator pushed into the MAC either reached a host sink or
+		// sits in exactly one ledger cell (filter rejects, ring
+		// overflow, TX queue overflow).
+		lm := stats.NewLossMap(g.Sent().Packets+g.Dropped(), monitor.Delivered().Packets, ledger)
+		fmt.Println(lm.Table().String())
+	}
 
 	if *out != "" {
 		fmt.Printf("wrote %d packets to %s\n", captured, *out)

@@ -37,6 +37,8 @@ func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
 		{"E12", func() *stats.Table { return E12MixedRateFanIn(2 * sim.Millisecond) }},
 		{"E13", func() *stats.Table { return E13MultiDUTChain(2 * sim.Millisecond) }},
 		{"E14", func() *stats.Table { return E14Capture100G(sim.Millisecond) }},
+		{"E15", func() *stats.Table { return E15Oversubscribed(2 * sim.Millisecond) }},
+		{"E16", func() *stats.Table { return E16LossAttribution(2 * sim.Millisecond) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

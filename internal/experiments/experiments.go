@@ -2,7 +2,8 @@
 // (DESIGN.md's per-experiment index, E1–E8) plus the scaling sweeps the
 // testbed enables beyond it (E9 multi-port, E10 tester mesh, E11 40G
 // ports, E12 mixed-rate fan-in, E13 multi-DUT chain decomposition, E14
-// 100G multi-queue capture).
+// 100G multi-queue capture, E15 oversubscribed ECMP fabric, E16 per-hop
+// loss attribution).
 // Each driver declares its rig as an internal/topo scenario
 // graph, runs the workload in virtual time and returns a printable table
 // whose shape can be compared against the paper; the cmd/osnt-bench
@@ -489,5 +490,7 @@ func All() []*stats.Table {
 		E12MixedRateFanIn(0),
 		E13MultiDUTChain(0),
 		E14Capture100G(0),
+		E15Oversubscribed(0),
+		E16LossAttribution(0),
 	}
 }

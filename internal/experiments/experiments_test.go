@@ -237,3 +237,101 @@ func TestE13DecompositionSumsToTotal(t *testing.T) {
 		}
 	}
 }
+
+// E15: below the 2:1 oversubscription knee the fabric is lossless;
+// above it the excess is lost, every lost frame is attributed to the
+// leaf's uplink egress overflow (other-drops stays 0), and every row
+// conserves exactly.
+func TestE15KneeAndExactAttribution(t *testing.T) {
+	tbl := E15Oversubscribed(3 * sim.Millisecond)
+	if len(tbl.Rows) != len(E15Loads) {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for r, row := range tbl.Rows {
+		load := E15Loads[r]
+		if row[8] != "true" {
+			t.Fatalf("load %.0f%% does not conserve: %v", load*100, row)
+		}
+		if other := row[6]; other != "0" {
+			t.Fatalf("load %.0f%% attributes drops off the uplinks: %v", load*100, row)
+		}
+		loss := parseF(t, row[7])
+		if load >= 0.6 && loss == 0 {
+			t.Fatalf("load %.0f%% above the knee shows no loss: %v", load*100, row)
+		}
+		// Hash imbalance may overload one uplink slightly before the
+		// aggregate knee, but well below it the fabric must be clean.
+		if load <= 0.3 && loss != 0 {
+			t.Fatalf("load %.0f%% below the knee is lossy: %v", load*100, row)
+		}
+	}
+}
+
+// E15's canonical loss map (the -losses CLI path) must conserve, and
+// every cell must sit on the leaf's uplink egress.
+func TestE15LossMapConserves(t *testing.T) {
+	lm := E15LossMap(2 * sim.Millisecond)
+	if !lm.Conserved() {
+		t.Fatalf("sent %d, delivered %d, attributed %d", lm.Sent, lm.Delivered, lm.Attributed())
+	}
+	if lm.Attributed() == 0 {
+		t.Fatal("overloaded fabric attributed no drops")
+	}
+	for _, e := range lm.Entries() {
+		if e.Label != "leaf" || e.Reason != wire.DropEgressOverflow {
+			t.Fatalf("unexpected loss cell: hop %d (%s) %v ×%d", e.Hop, e.Label, e.Reason, e.Count)
+		}
+	}
+}
+
+// E16: each engineered loss mechanism lands in its own (hop, reason)
+// cell, nothing lands anywhere else, and every row closes exactly.
+func TestE16AttributionExact(t *testing.T) {
+	tbl := E16LossAttribution(5 * sim.Millisecond)
+	if len(tbl.Rows) != len(E16Loads) {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for r, row := range tbl.Rows {
+		load := E16Loads[r]
+		if row[10] != "true" {
+			t.Fatalf("load %.0f%% does not conserve: %v", load*100, row)
+		}
+		if other := row[9]; other != "0" {
+			t.Fatalf("load %.0f%% has unattributed reasons: %v", load*100, row)
+		}
+		if runts := row[2]; parseF(t, row[6]) != parseF(t, runts) {
+			t.Fatalf("load %.0f%%: injected runts %s but hop 1 counted %s: %v", load*100, runts, row[6], row)
+		}
+		rateDrops := parseF(t, row[5])
+		if load > 0.26 && rateDrops == 0 {
+			t.Fatalf("load %.0f%% above the conversion knee shows no rate-boundary drops: %v", load*100, row)
+		}
+		if load < 0.25 && rateDrops != 0 {
+			t.Fatalf("load %.0f%% below the knee drops at the boundary: %v", load*100, row)
+		}
+		hairpins := parseF(t, row[7])
+		if load <= 0.25 && hairpins != parseF(t, row[3]) {
+			t.Fatalf("load %.0f%%: hairpin probes did not all reach hop 2: %v", load*100, row)
+		}
+		lookups := parseF(t, row[8])
+		if load >= 0.25 && lookups == 0 {
+			t.Fatalf("load %.0f%%: starved hop-3 lookup dropped nothing: %v", load*100, row)
+		}
+		if load <= 0.2 && lookups != 0 {
+			t.Fatalf("load %.0f%%: hop-3 lookup dropped below its saturation point: %v", load*100, row)
+		}
+	}
+}
+
+// The ECMP spray micro-rig must spread a 64-flow workload across both
+// members and deliver the lion's share of a line-rate second.
+func TestSprayMicroBenchSpreads(t *testing.T) {
+	m0, m1 := SprayMicroBench(sim.Millisecond)
+	if m0 == 0 || m1 == 0 {
+		t.Fatalf("degenerate spray: %d/%d", m0, m1)
+	}
+	total := m0 + m1
+	if total < 14000 {
+		t.Fatalf("spray rig delivered %d packets in a 64B line-rate millisecond, want ≈14881", total)
+	}
+}

@@ -161,6 +161,23 @@ func (t *Table) Hits(i int) uint64 { return t.hits[i] }
 // action.
 func (t *Table) DefaultHits() uint64 { return t.defaultHits }
 
+// DropHits returns how many matches resolved to the Drop verdict: the
+// hit counters of every Drop rule plus the default hits when the
+// default action drops. The monitor reports the same quantity into the
+// loss ledger as filter-reject, so the two stay cross-checkable.
+func (t *Table) DropHits() uint64 {
+	var n uint64
+	for i, r := range t.rules {
+		if r.Action == Drop {
+			n += t.hits[i]
+		}
+	}
+	if t.DefaultAction == Drop {
+		n += t.defaultHits
+	}
+	return n
+}
+
 // Rule returns rule i.
 func (t *Table) Rule(i int) *Rule { return t.rules[i] }
 

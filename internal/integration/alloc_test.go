@@ -10,6 +10,7 @@ import (
 	"osnt/internal/openflow"
 	"osnt/internal/race"
 	"osnt/internal/sim"
+	"osnt/internal/switchsim"
 	"osnt/internal/wire"
 )
 
@@ -197,5 +198,68 @@ func TestPooledAndUnpooledAgree(t *testing.T) {
 	if ps != us || pSeen != uSeen || pDel != uDel || pBytes != uBytes {
 		t.Fatalf("pooled (%d/%d/%d/%dB) != unpooled (%d/%d/%d/%dB)",
 			ps, pSeen, pDel, pBytes, us, uSeen, uDel, uBytes)
+	}
+}
+
+// TestDropLedgerPathZeroAlloc pins the loss-attribution satellite: a
+// 2:1 same-rate fan-in whose egress FIFO overflows on every other
+// packet, with the scenario ledger attached, must stay at ~0
+// allocations per packet — attribution is an array increment, and the
+// dropped frames go straight back to the pool.
+func TestDropLedgerPathZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("sync.Pool drops Puts under -race; strict alloc bound only holds in normal builds")
+	}
+	pool := wire.NewPool()
+	e := sim.NewEngine()
+	card := netfpga.New(e, netfpga.Config{Ports: 3})
+	sw := switchsim.New(e, switchsim.Config{
+		Ports:          3,
+		EgressQueueCap: 16,
+		// Overspeed lookup so the egress FIFO is the only drop point.
+		LookupPerPacket: sim.Nanosecond,
+		LookupPerByte:   sim.Picoseconds(10),
+	})
+	ledger := &wire.DropLedger{}
+	sw.SetDropSite(ledger, ledger.Add("sw"))
+	for p := 0; p < 2; p++ {
+		card.Port(p).SetLink(wire.NewLink(e, wire.Rate10G, 0, sw.Port(p)))
+	}
+	sw.Port(2).SetLink(wire.NewLink(e, wire.Rate10G, 0, card.Port(2)))
+	m := mon.Attach(card.Port(2), mon.Config{SnapLen: 64}) // nil sink → recycle
+	sw.Learn(spec.DstMAC, 2)
+	for p := 0; p < 2; p++ {
+		src := spec
+		src.SrcMAC[5] = byte(0x10 + p)
+		src.SrcPort = uint16(5000 + p)
+		g, err := gen.New(card.Port(p), gen.Config{
+			Source:  &gen.UDPFlowSource{Spec: src, FrameSize: 64},
+			Spacing: gen.CBRForLoad(64, wire.Rate10G, 1.0),
+			Pool:    pool,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start(0)
+	}
+
+	e.RunFor(200 * sim.Microsecond) // warm-up
+
+	const span = sim.Millisecond
+	interval := gen.CBRForLoad(64, wire.Rate10G, 1.0).Interval
+	pktPerSpan := 2 * float64(span) / float64(interval) // both generators
+	avg := testing.AllocsPerRun(5, func() {
+		e.RunFor(span)
+	})
+	perPacket := avg / pktPerSpan
+	t.Logf("allocs: %.1f per %0.f-packet span = %.4f/packet", avg, pktPerSpan, perPacket)
+	if perPacket > 0.01 {
+		t.Errorf("ledger drop path allocates %.4f/packet, want ~0", perPacket)
+	}
+	if ledger.Count(1, wire.DropEgressOverflow) == 0 {
+		t.Fatal("fan-in overload never hit the ledger — rig is miswired")
+	}
+	if m.Seen().Packets == 0 {
+		t.Fatal("monitor saw no packets — rig is miswired")
 	}
 }

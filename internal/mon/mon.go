@@ -248,6 +248,20 @@ type Monitor struct {
 	seen     stats.Counter // all frames presented to the pipeline
 	accepted stats.Counter // past the filter stage
 	filtered uint64        // dropped by filter verdict
+
+	// Loss attribution: when a drop site is attached
+	// (topo.AttachMonitor threads the scenario ledger), filter rejects
+	// and per-queue ring overflows report as (hop, reason) so capture
+	// loss composes with the forwarding hops' drops in one LossMap.
+	ledger *wire.DropLedger
+	hop    int
+}
+
+// SetDropSite attaches the scenario's loss-attribution ledger; the
+// monitor reports filter rejects and DMA ring overflows at the given
+// hop ID.
+func (m *Monitor) SetDropSite(ledger *wire.DropLedger, hop int) {
+	m.ledger, m.hop = ledger, hop
 }
 
 // New builds a capture engine on the port, taking over its OnReceive
@@ -352,6 +366,7 @@ func (m *Monitor) onReceive(f *wire.Frame, at sim.Time, ts timing.Timestamp) {
 		ruleIdx = idx
 		if act == filter.Drop {
 			m.filtered++
+			m.ledger.Report(m.hop, wire.DropFilterReject, 1)
 			return
 		}
 		if ruleSnap > 0 {
@@ -375,6 +390,7 @@ func (m *Monitor) onReceive(f *wire.Frame, at sim.Time, ts timing.Timestamp) {
 
 	if len(q.ring)-q.head >= q.ringSize {
 		q.ringDrops++
+		m.ledger.Report(m.hop, wire.DropRingFull, 1)
 		return
 	}
 	q.accepted.Add(wb)
@@ -418,21 +434,10 @@ func (m *Monitor) steer(data []byte, ruleIdx int, hash uint64) *queue {
 	if m.cfg.HashBytes <= 0 {
 		hash = packet.PacketDigest(data, SteerHashBytes)
 	}
-	return &m.queues[int(mix64(hash)%uint64(nq))]
-}
-
-// mix64 whitens the hardware digest before the queue modulo (the RSS
-// indirection step): FNV's low bits are weak on structured header input
-// — flows differing only in a port number can share a low-bit residue,
-// collapsing onto few queues — so the avalanche finaliser (Murmur3's)
-// spreads every digest bit into the queue selector.
-func mix64(h uint64) uint64 {
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return h
+	// packet.Mix64 whitens the digest before the queue modulo (the RSS
+	// indirection step); switchsim's ECMP member select shares it, so
+	// spray and steer disagree only by modulus, never by hash quality.
+	return &m.queues[int(packet.Mix64(hash)%uint64(nq))]
 }
 
 // getBuf returns a buffer of length n, recycled from delivered records

@@ -728,3 +728,73 @@ func BenchmarkMonitorPipeline(b *testing.B) {
 	}
 	g.Stop()
 }
+
+// The capture engine reports its two loss mechanisms — ring overflow
+// and filter rejects — into an attached drop ledger, and the ledger
+// counts agree with the engine's own views.
+func TestMonitorReportsIntoDropLedger(t *testing.T) {
+	filters := filter.NewTable(filter.Capture)
+	if err := filters.Append(&filter.Rule{
+		Name: "no-dns", Action: filter.Drop,
+		Proto:      packet.ProtoUDP,
+		DstPortMin: 7000, DstPortMax: 7000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The rule rejects the workload's only flow, so every frame is a
+	// filter-reject and the (tiny) ring never even fills.
+	r := &rig{e: sim.NewEngine()}
+	r.tx = netfpga.New(r.e, netfpga.Config{})
+	r.rx = netfpga.New(r.e, netfpga.Config{})
+	r.tx.Port(0).SetLink(wire.NewLink(r.e, wire.Rate10G, 0, r.rx.Port(0)))
+	r.mon = Attach(r.rx.Port(0), Config{Filters: filters, RingSize: 4})
+	ledger := &wire.DropLedger{}
+	hop := ledger.Add("mon")
+	r.mon.SetDropSite(ledger, hop)
+
+	g, err := gen.New(r.tx.Port(0), gen.Config{
+		Source:  &gen.UDPFlowSource{Spec: spec, NumFlows: 1, FrameSize: 1518},
+		Spacing: gen.CBRForLoad(1518, wire.Rate10G, 1.0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(0)
+	r.e.RunUntil(sim.Time(2 * sim.Millisecond))
+	g.Stop()
+	r.e.Run()
+
+	if got := ledger.Count(hop, wire.DropFilterReject); got == 0 || got != r.mon.Filtered() {
+		t.Fatalf("ledger filter rejects %d, monitor filtered %d", got, r.mon.Filtered())
+	}
+	if got := ledger.Count(hop, wire.DropFilterReject); got != filters.DropHits() {
+		t.Fatalf("ledger %d != filter.DropHits %d", got, filters.DropHits())
+	}
+	if r.mon.RingDrops() != 0 {
+		t.Fatalf("everything was rejected, yet the ring dropped %d", r.mon.RingDrops())
+	}
+}
+
+// Ring overflow reports ring-full per lost packet, per queue, summed at
+// the monitor's hop.
+func TestRingOverflowReportsIntoLedger(t *testing.T) {
+	r, g := newRig(t, Config{RingSize: 4, Sink: func(Record) {}}, 1518, 1.0)
+	ledger := &wire.DropLedger{}
+	hop := ledger.Add("mon")
+	r.mon.SetDropSite(ledger, hop)
+	g.Start(0)
+	r.e.RunUntil(sim.Time(2 * sim.Millisecond))
+	g.Stop()
+	r.e.Run()
+	if r.mon.RingDrops() == 0 {
+		t.Fatal("full-size line-rate capture into a 4-slot ring did not overflow")
+	}
+	if got := ledger.Count(hop, wire.DropRingFull); got != r.mon.RingDrops() {
+		t.Fatalf("ledger ring-full %d != RingDrops %d", got, r.mon.RingDrops())
+	}
+	// Conservation across the capture pipeline: seen = filtered +
+	// ring drops + delivered once the rings have drained.
+	if seen := r.mon.Seen().Packets; seen != r.mon.Filtered()+r.mon.RingDrops()+r.mon.Delivered().Packets {
+		t.Fatalf("capture pipeline does not conserve: seen %d", seen)
+	}
+}

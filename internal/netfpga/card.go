@@ -61,6 +61,17 @@ type Card struct {
 
 	cfg   Config
 	ports []*Port
+
+	// Loss attribution: TX queue overflows report (dropHop, reason)
+	// into the scenario ledger when one is attached (topo threads it).
+	ledger  *wire.DropLedger
+	dropHop int
+}
+
+// SetDropSite attaches the scenario's loss-attribution ledger; TX queue
+// overflows on any port report at the given hop ID.
+func (c *Card) SetDropSite(ledger *wire.DropLedger, hop int) {
+	c.ledger, c.dropHop = ledger, hop
 }
 
 // New builds a card on the given engine.
@@ -151,6 +162,7 @@ func (p *Port) Enqueue(f *wire.Frame) bool {
 	if p.txq.Len() >= p.card.cfg.TxQueueCap {
 		p.txDrops++
 		p.card.Regs.Add(p.regTxDrops, 1)
+		p.card.ledger.Report(p.card.dropHop, wire.DropTxOverflow, 1)
 		return false
 	}
 	p.txq.Push(f)

@@ -136,7 +136,20 @@ type Switch struct {
 	misses         uint64
 	forwarded      stats.Counter
 	dropsNoRule    uint64
+	runtDrops      uint64
+	unconnDrops    uint64
 	sweepScheduled bool
+
+	// Loss attribution: drop paths report (dropHop, reason) into the
+	// scenario ledger when one is attached (topo threads it).
+	ledger  *wire.DropLedger
+	dropHop int
+}
+
+// SetDropSite attaches the scenario's loss-attribution ledger; every
+// dataplane drop path reports at the given hop ID.
+func (s *Switch) SetDropSite(ledger *wire.DropLedger, hop int) {
+	s.ledger, s.dropHop = ledger, hop
 }
 
 // New builds a switch on the engine.
@@ -175,6 +188,13 @@ func (s *Switch) Forwarded() stats.Counter { return s.forwarded }
 // DropsNoRule returns packets dropped because a miss could not be sent
 // to a controller (no channel attached).
 func (s *Switch) DropsNoRule() uint64 { return s.dropsNoRule }
+
+// RuntDrops returns unparseable frames discarded at the dataplane
+// parser.
+func (s *Switch) RuntDrops() uint64 { return s.runtDrops }
+
+// UnconnectedDrops returns frames output toward ports with no link.
+func (s *Switch) UnconnectedDrops() uint64 { return s.unconnDrops }
 
 // cpuRun enqueues cost on the serial management CPU and invokes fn when
 // that work completes. It returns the completion instant.
@@ -292,6 +312,8 @@ func (p *Port) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
 	s := p.sw
 	key, err := openflow.KeyFromPacket(f.Data, p.OFPort())
 	if err != nil {
+		s.runtDrops++
+		s.ledger.Report(s.dropHop, wire.DropRunt, 1)
 		f.Release()
 		return // unparseable runt: dropped
 	}
@@ -303,6 +325,7 @@ func (p *Port) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
 		s.misses++
 		if s.ctl == nil {
 			s.dropsNoRule++
+			s.ledger.Report(s.dropHop, wire.DropNoRule, 1)
 			f.Release()
 			return
 		}
@@ -448,11 +471,16 @@ func (s *Switch) output(act *openflow.ActionOutput, f *wire.Frame, in *Port, rea
 
 func (p *Port) enqueue(f *wire.Frame, earliest sim.Time) {
 	if p.link == nil {
+		// Unconnected port: black hole, as hardware would — but the
+		// ledger still attributes the loss.
+		p.sw.unconnDrops++
+		p.sw.ledger.Report(p.sw.dropHop, wire.DropUnconnected, 1)
 		f.Release()
-		return // unconnected port: black hole, as hardware would
+		return
 	}
 	if p.queue.Len() >= p.sw.cfg.EgressQueueCap {
 		p.drops++
+		p.sw.ledger.Report(p.sw.dropHop, wire.DropEgressOverflow, 1)
 		f.Release()
 		return
 	}

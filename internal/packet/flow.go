@@ -145,3 +145,18 @@ func PacketDigest(data []byte, n int) uint64 {
 	}
 	return fnvBytes(fnvOffset, data[:n])
 }
+
+// Mix64 whitens a hardware digest before a modulo spread (the RSS
+// indirection step, and likewise a switch fabric's ECMP member select):
+// FNV's low bits are weak on structured header input — flows differing
+// only in a port number can share a low-bit residue, collapsing onto few
+// buckets — so the avalanche finaliser (Murmur3's) spreads every digest
+// bit into the selector.
+func Mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"osnt/internal/wire"
+)
+
+func lossFixture() (*wire.DropLedger, int, int) {
+	l := &wire.DropLedger{}
+	leaf := l.Add("leaf")
+	spine := l.Add("spine")
+	l.Report(leaf, wire.DropEgressOverflow, 30)
+	l.Report(leaf, wire.DropRunt, 2)
+	l.Report(spine, wire.DropLookupOverflow, 8)
+	return l, leaf, spine
+}
+
+func TestLossMapConservation(t *testing.T) {
+	l, _, _ := lossFixture()
+	lm := NewLossMap(100, 60, l)
+	if got := lm.Attributed(); got != 40 {
+		t.Fatalf("Attributed = %d", got)
+	}
+	if !lm.Conserved() {
+		t.Fatal("100 = 60 + 40 should conserve")
+	}
+	if got := lm.LossFraction(); got != 0.4 {
+		t.Fatalf("LossFraction = %v", got)
+	}
+	if NewLossMap(100, 61, l).Conserved() {
+		t.Fatal("off-by-one must not conserve")
+	}
+}
+
+func TestLossMapEntriesOrderedAndElided(t *testing.T) {
+	l, leaf, spine := lossFixture()
+	lm := NewLossMap(100, 60, l)
+	es := lm.Entries()
+	if len(es) != 3 {
+		t.Fatalf("entries %d, want 3 (zero cells elided)", len(es))
+	}
+	want := []struct {
+		hop    int
+		reason wire.DropReason
+		count  uint64
+	}{
+		{leaf, wire.DropEgressOverflow, 30},
+		{leaf, wire.DropRunt, 2},
+		{spine, wire.DropLookupOverflow, 8},
+	}
+	for i, w := range want {
+		if es[i].Hop != w.hop || es[i].Reason != w.reason || es[i].Count != w.count {
+			t.Fatalf("entry %d = %+v, want %+v", i, es[i], w)
+		}
+	}
+	if f := lm.Fraction(es[0]); f != 0.3 {
+		t.Fatalf("Fraction = %v", f)
+	}
+}
+
+func TestLossMapTableRendering(t *testing.T) {
+	l, _, _ := lossFixture()
+	s := NewLossMap(100, 60, l).Table().String()
+	for _, frag := range []string{"leaf", "spine", "egress-overflow", "runt", "lookup-overflow", "conserved exactly", "40"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("table missing %q:\n%s", frag, s)
+		}
+	}
+	bad := NewLossMap(100, 70, l).Table().String()
+	if !strings.Contains(bad, "NOT conserved (off by -10)") {
+		t.Fatalf("broken conservation not flagged:\n%s", bad)
+	}
+}
+
+// A snapshot stays stable while the ledger keeps counting.
+func TestLossMapSnapshots(t *testing.T) {
+	l, leaf, _ := lossFixture()
+	lm := NewLossMap(100, 60, l)
+	l.Report(leaf, wire.DropEgressOverflow, 1000)
+	if got := lm.Attributed(); got != 40 {
+		t.Fatalf("snapshot moved: %d", got)
+	}
+}

@@ -128,9 +128,26 @@ type Switch struct {
 	fdb   map[packet.MAC]int
 	rand  *sim.Rand
 
-	lookupDrops uint64
-	floods      uint64
-	forwarded   stats.Counter
+	// ECMP groups: groups[g-1] is the member port list of group g
+	// (1-based, AddGroup order); groupOf[p] is the group containing
+	// port p, 0 when ungrouped. The FDB stores a group destination as
+	// the negative id -g.
+	groups  [][]int
+	groupOf []int
+	sprays  uint64
+
+	lookupDrops  uint64
+	runtDrops    uint64
+	hairpinDrops uint64
+	floods       uint64
+	forwarded    stats.Counter
+
+	// Loss attribution: every drop path reports (dropHop, reason) into
+	// the scenario ledger when one is attached (topo threads it with
+	// the same hop ID that stamps the HopTrace). The per-device
+	// counters above remain the local views.
+	ledger  *wire.DropLedger
+	dropHop int
 }
 
 type pendingLookup struct {
@@ -147,11 +164,81 @@ func New(e *sim.Engine, cfg Config) *Switch {
 	if len(cfg.PortRates) > cfg.Ports {
 		panic(fmt.Sprintf("switchsim: %d per-port rates for %d ports", len(cfg.PortRates), cfg.Ports))
 	}
-	s := &Switch{Engine: e, cfg: cfg, fdb: make(map[packet.MAC]int), rand: sim.NewRand(cfg.Seed ^ 0x5057)}
+	s := &Switch{
+		Engine:  e,
+		cfg:     cfg,
+		fdb:     make(map[packet.MAC]int),
+		rand:    sim.NewRand(cfg.Seed ^ 0x5057),
+		groupOf: make([]int, cfg.Ports),
+	}
 	for i := 0; i < cfg.Ports; i++ {
 		s.ports = append(s.ports, &Port{sw: s, index: i})
 	}
 	return s
+}
+
+// SetDropSite attaches the scenario's loss-attribution ledger; every
+// drop path on the switch reports at the given hop ID (topo passes the
+// same ID that stamps the hop trace, so loss attribution and latency
+// decomposition share a namespace).
+func (s *Switch) SetDropSite(ledger *wire.DropLedger, hop int) {
+	s.ledger, s.dropHop = ledger, hop
+}
+
+// AddGroup registers an ECMP group over the given egress ports and
+// returns its 1-based id. Forwarding toward a group (LearnGroup) sprays
+// each flow deterministically across the members by a whitened digest
+// over the frame's headers — the switch-fabric analogue of the capture
+// engine's RSS steering. A port may belong to at most one group.
+func (s *Switch) AddGroup(ports ...int) int {
+	if len(ports) < 2 {
+		panic(fmt.Sprintf("switchsim: ECMP group needs ≥2 member ports, got %d", len(ports)))
+	}
+	for _, p := range ports {
+		if p < 0 || p >= len(s.ports) {
+			panic(fmt.Sprintf("switchsim: group member port %d of %d", p, len(s.ports)))
+		}
+		if s.groupOf[p] != 0 {
+			panic(fmt.Sprintf("switchsim: port %d already in group %d", p, s.groupOf[p]))
+		}
+	}
+	s.groups = append(s.groups, append([]int(nil), ports...))
+	gid := len(s.groups)
+	for _, p := range ports {
+		s.groupOf[p] = gid
+	}
+	return gid
+}
+
+// LearnGroup points a station at an ECMP group: frames for mac spray
+// across the group's member ports.
+func (s *Switch) LearnGroup(mac packet.MAC, gid int) {
+	if gid < 1 || gid > len(s.groups) {
+		panic(fmt.Sprintf("switchsim: learn on group %d of %d", gid, len(s.groups)))
+	}
+	s.fdb[mac] = -gid
+}
+
+// GroupPorts returns the member ports of group gid.
+func (s *Switch) GroupPorts(gid int) []int {
+	return append([]int(nil), s.groups[gid-1]...)
+}
+
+// sprayHashBytes covers exactly the L2–L4 headers of an untagged UDP
+// probe (Ethernet 14 + IPv4 20 + UDP 8). ECMP must hash headers only:
+// payload bytes — in particular the embedded TX timestamp at offset 42
+// — would move a flow between members packet by packet.
+const sprayHashBytes = 42
+
+// sprayMember picks the group member carrying this frame: the hardware
+// digest over the headers, whitened by packet.Mix64 (shared with the
+// monitor's RSS steering), modulo the member count. Per-flow stable,
+// deterministic, allocation-free.
+func (s *Switch) sprayMember(gid int, data []byte) int {
+	members := s.groups[gid-1]
+	s.sprays++
+	h := packet.Mix64(packet.PacketDigest(data, sprayHashBytes))
+	return members[int(h%uint64(len(members)))]
 }
 
 // Learn seeds the station table without traffic, the programmatic
@@ -193,6 +280,17 @@ func (s *Switch) Mode() ForwardingMode { return s.cfg.Mode }
 // pipelines.
 func (s *Switch) LookupDrops() uint64 { return s.lookupDrops }
 
+// RuntDrops returns frames discarded because they were too short to
+// carry a parseable Ethernet header.
+func (s *Switch) RuntDrops() uint64 { return s.runtDrops }
+
+// HairpinDrops returns frames discarded because their destination was
+// learned on the ingress port.
+func (s *Switch) HairpinDrops() uint64 { return s.hairpinDrops }
+
+// Sprays returns the number of ECMP member selections performed.
+func (s *Switch) Sprays() uint64 { return s.sprays }
+
 // Floods returns packets flooded for unknown/broadcast destinations.
 func (s *Switch) Floods() uint64 { return s.floods }
 
@@ -228,6 +326,7 @@ func (s *Switch) receive(p *Port, f *wire.Frame, firstBit, lastBit sim.Time) {
 	}
 	if p.lookupQ.Len() >= s.cfg.LookupQueueCap {
 		s.lookupDrops++
+		s.ledger.Report(s.dropHop, wire.DropLookupOverflow, 1)
 		f.Release() // dropped frames go back to their pool
 		return
 	}
@@ -285,18 +384,44 @@ func (p *Port) lookupDone() {
 func (s *Switch) decide(p pendingLookup) {
 	var eth packet.Ethernet
 	if err := eth.DecodeFromBytes(p.f.Data); err != nil {
+		// Runt frame: too short for a forwarding decision. Hardware
+		// discards these at the parser; the ledger attributes them like
+		// every other loss (this used to be a silent, uncounted drop).
+		s.runtDrops++
+		s.ledger.Report(s.dropHop, wire.DropRunt, 1)
 		p.f.Release()
-		return // runt frame: dropped silently, as hardware would
+		return
 	}
 	if !eth.Src.IsMulticast() {
-		s.fdb[eth.Src] = p.inPort
+		// LAG-aware learning: a station pinned to an ECMP group stays
+		// group-learned while its frames keep arriving over that
+		// group's members (any member — that is what a bundle is).
+		// Arrival anywhere else means the station moved, so relearn to
+		// the port as usual.
+		if cur, ok := s.fdb[eth.Src]; !ok || cur >= 0 || s.groupOf[p.inPort] != -cur {
+			s.fdb[eth.Src] = p.inPort
+		}
 	}
-	earliest := p.readyAt
 	if out, ok := s.fdb[eth.Dst]; ok && !eth.Dst.IsMulticast() {
+		if out < 0 {
+			// Never spray a frame back into the bundle it arrived on —
+			// the group is one logical port, so this is a hairpin even
+			// when the hash would pick a sibling member.
+			if g := -out; s.groupOf[p.inPort] == g {
+				s.hairpinDrops++
+				s.ledger.Report(s.dropHop, wire.DropHairpin, 1)
+				p.f.Release()
+				return
+			}
+			out = s.sprayMember(-out, p.f.Data)
+		}
 		if out != p.inPort {
-			s.ports[out].enqueue(p.f, s.convertEarliest(p, out, earliest))
+			s.dispatch(p, out, p.f)
 		} else {
-			p.f.Release() // never hairpin out the ingress port
+			// Never hairpin out the ingress port.
+			s.hairpinDrops++
+			s.ledger.Report(s.dropHop, wire.DropHairpin, 1)
+			p.f.Release()
 		}
 		return
 	}
@@ -308,30 +433,40 @@ func (s *Switch) decide(p pendingLookup) {
 		if i == p.inPort || port.link == nil {
 			continue
 		}
-		port.enqueue(p.f.Clone(), s.convertEarliest(p, i, earliest))
+		if g := s.groupOf[i]; g != 0 {
+			// A group is one logical port: flood a single copy via the
+			// spray-selected member, and nothing back into a group the
+			// ingress port belongs to.
+			if s.groupOf[p.inPort] == g || s.sprayMember(g, p.f.Data) != i {
+				continue
+			}
+		}
+		s.dispatch(p, i, p.f.Clone())
 	}
 	p.f.Release()
 }
 
-// convertEarliest returns the earliest instant egress serialisation out
-// port `out` may begin for pending lookup p. Crossing a rate boundary
-// forces store-and-forward even on a cut-through switch: serialising at a
-// faster egress rate than the bits arrive would underrun the MAC, and
-// real converting hardware buffers the whole frame. The boundary is
-// detected against the frame's *actual* ingress occupancy (lastBit −
-// firstBit, which encodes the arrival wire's rate), not the ingress
-// port's nominal rate — a topo Convert edge can legally deliver a slower
-// wire into a faster port, and that boundary must store too. Same-rate
-// forwarding keeps the lookup-derived instant untouched, so uniform-rate
-// switches behave exactly as before.
-func (s *Switch) convertEarliest(p pendingLookup, out int, earliest sim.Time) sim.Time {
-	if earliest >= p.lastBit {
-		return earliest // fully stored already; nothing to clamp
+// dispatch hands frame f (owned by the egress from here) to egress port
+// out for pending lookup p, applying store-and-forward speed conversion.
+// Crossing a rate boundary forces store-and-forward even on a
+// cut-through switch: serialising at a faster egress rate than the bits
+// arrive would underrun the MAC, and real converting hardware buffers
+// the whole frame. The boundary is detected against the frame's *actual*
+// ingress occupancy (lastBit − firstBit, which encodes the arrival
+// wire's rate), not the ingress port's nominal rate — a topo Convert
+// edge can legally deliver a slower wire into a faster port, and that
+// boundary must store too. Same-rate forwarding keeps the lookup-derived
+// instant untouched, so uniform-rate switches behave exactly as before.
+// The boundary flag also classifies any overflow drop: losing frames at
+// a conversion point is structural (rate-boundary), not incidental
+// fan-in (egress-overflow).
+func (s *Switch) dispatch(p pendingLookup, out int, f *wire.Frame) {
+	boundary := wire.SerializationTime(f.Size, s.PortRate(out)) != p.span
+	earliest := p.readyAt
+	if boundary && earliest < p.lastBit {
+		earliest = p.lastBit // not fully stored yet: wait for the last bit
 	}
-	if wire.SerializationTime(p.f.Size, s.PortRate(out)) != p.span {
-		return p.lastBit
-	}
-	return earliest
+	s.ports[out].enqueue(f, earliest, boundary)
 }
 
 // Port is one switch interface.
@@ -381,12 +516,17 @@ func (p *Port) Egress() stats.Counter { return p.egress }
 // QueueDepth returns the instantaneous egress queue occupancy.
 func (p *Port) QueueDepth() int { return p.queue.Len() }
 
-func (p *Port) enqueue(f *wire.Frame, earliest sim.Time) {
+func (p *Port) enqueue(f *wire.Frame, earliest sim.Time, boundary bool) {
 	if p.link == nil {
 		panic(fmt.Sprintf("switchsim: egress port %d has no link", p.index))
 	}
 	if p.queue.Len() >= p.sw.cfg.EgressQueueCap {
 		p.drops++
+		reason := wire.DropEgressOverflow
+		if boundary {
+			reason = wire.DropRateBoundary
+		}
+		p.sw.ledger.Report(p.sw.dropHop, reason, 1)
 		f.Release()
 		return
 	}

@@ -466,3 +466,229 @@ func TestHopStamping(t *testing.T) {
 		t.Fatalf("hop stamp %+v, want node 7 at %v", hops[0], tp.rx[1][0])
 	}
 }
+
+// The previously silent runt drop must now be counted and attributed.
+func TestRuntDropCountedAndAttributed(t *testing.T) {
+	e := sim.NewEngine()
+	sw := New(e, Config{HopID: 3})
+	ledger := &wire.DropLedger{}
+	ledger.Register(3, "sw")
+	sw.SetDropSite(ledger, 3)
+	sw.Port(0).SetLink(wire.NewLink(e, wire.Rate10G, 0, nil))
+	sw.Port(1).SetLink(wire.NewLink(e, wire.Rate10G, 0, nil))
+	l := wire.NewLink(e, wire.Rate10G, 0, sw.Port(0))
+	l.Transmit(&wire.Frame{Data: make([]byte, 8), Size: 12})
+	l.Transmit(udpFrame(macA, macB, 64)) // a parseable frame is not a runt
+	e.Run()
+	if got := sw.RuntDrops(); got != 1 {
+		t.Fatalf("RuntDrops = %d, want 1", got)
+	}
+	if got := ledger.Count(3, wire.DropRunt); got != 1 {
+		t.Fatalf("ledger runts at hop 3 = %d, want 1", got)
+	}
+	if ledger.Total() != 1 {
+		t.Fatalf("ledger total = %d (parseable frame misattributed?)", ledger.Total())
+	}
+}
+
+// Hairpin drops (destination learned on the ingress port) are counted
+// and attributed like every other loss.
+func TestHairpinDropCountedAndAttributed(t *testing.T) {
+	tp := newTopo(t, Config{}, 2)
+	ledger := &wire.DropLedger{}
+	hop := ledger.Add("sw")
+	tp.sw.SetDropSite(ledger, hop)
+	tp.sw.Learn(macB, 0) // B behind port 0
+	tp.send(0, udpFrame(macA, macB, 64))
+	tp.e.Run()
+	if got := tp.sw.HairpinDrops(); got != 1 {
+		t.Fatalf("HairpinDrops = %d, want 1", got)
+	}
+	if got := ledger.Count(hop, wire.DropHairpin); got != 1 {
+		t.Fatalf("ledger hairpins = %d, want 1", got)
+	}
+	if len(tp.rx[0]) != 0 && len(tp.rx[1]) != 0 {
+		t.Fatal("hairpin frame was forwarded")
+	}
+}
+
+// Drop classification: overflowing an egress FIFO at a speed-conversion
+// point is rate-boundary, same-rate overflow is egress-overflow; the
+// Port.Drops view counts both.
+func TestDropReasonClassifiesRateBoundary(t *testing.T) {
+	e := sim.NewEngine()
+	// Port 0 ingress at 40G, port 1 egress at 10G, queue of 2: sustained
+	// 40G input must tail-drop at the conversion point.
+	sw := New(e, Config{
+		Ports:           2,
+		PortRates:       []wire.Rate{wire.Rate40G},
+		EgressQueueCap:  2,
+		LookupPerPacket: sim.Nanosecond,
+		LookupPerByte:   sim.Picoseconds(10),
+	})
+	ledger := &wire.DropLedger{}
+	hop := ledger.Add("conv")
+	sw.SetDropSite(ledger, hop)
+	sw.Learn(macB, 1)
+	sink := wire.EndpointFunc(func(f *wire.Frame, _, _ sim.Time) { f.Release() })
+	sw.Port(1).SetLink(wire.NewLink(e, wire.Rate10G, 0, &sink))
+	in := wire.NewLink(e, wire.Rate40G, 0, sw.Port(0))
+	for i := 0; i < 64; i++ {
+		in.Transmit(udpFrame(macA, macB, 512))
+	}
+	e.Run()
+	rb := ledger.Count(hop, wire.DropRateBoundary)
+	if rb == 0 {
+		t.Fatal("conversion overflow not classified as rate-boundary")
+	}
+	if eo := ledger.Count(hop, wire.DropEgressOverflow); eo != 0 {
+		t.Fatalf("conversion overflow misclassified as egress-overflow ×%d", eo)
+	}
+	if got := sw.Port(1).Drops(); got != rb {
+		t.Fatalf("Port.Drops view %d != ledger rate-boundary %d", got, rb)
+	}
+}
+
+// ECMP groups: flows spray deterministically across members, each flow
+// sticks to one member, and both members carry traffic for a multi-flow
+// workload.
+func TestECMPSprayPerFlowSticky(t *testing.T) {
+	tp := newTopo(t, Config{Ports: 3}, 3)
+	gid := tp.sw.AddGroup(1, 2)
+	tp.sw.LearnGroup(macB, gid)
+
+	// 8 flows × 4 packets each: every packet of one flow must take the
+	// same member port.
+	for rep := 0; rep < 4; rep++ {
+		for flow := 0; flow < 8; flow++ {
+			f := wire.NewFrame(packet.UDPSpec{
+				SrcMAC: macA, DstMAC: macB,
+				SrcIP: packet.IP4{10, 0, 0, 1}, DstIP: packet.IP4{10, 0, 0, 2},
+				SrcPort: uint16(1000 + flow), DstPort: 2000, FrameSize: 128,
+			}.Build())
+			tp.send(0, f)
+		}
+	}
+	tp.e.Run()
+	got1, got2 := len(tp.rx[1]), len(tp.rx[2])
+	if got1+got2 != 32 {
+		t.Fatalf("delivered %d+%d, want 32", got1, got2)
+	}
+	if got1 == 0 || got2 == 0 {
+		t.Fatalf("8 flows collapsed onto one member: %d/%d", got1, got2)
+	}
+	if got1%4 != 0 || got2%4 != 0 {
+		t.Fatalf("a flow straddled members: %d/%d (want multiples of 4)", got1, got2)
+	}
+	if tp.sw.Sprays() != 32 {
+		t.Fatalf("Sprays = %d, want 32", tp.sw.Sprays())
+	}
+}
+
+// A flood treats a group as one logical port: exactly one member
+// carries the copy.
+func TestFloodSendsOneCopyPerGroup(t *testing.T) {
+	tp := newTopo(t, Config{Ports: 3}, 3)
+	tp.sw.AddGroup(1, 2)
+	tp.send(0, udpFrame(macA, macC, 64)) // unknown dst: flood
+	tp.e.Run()
+	if got := len(tp.rx[1]) + len(tp.rx[2]); got != 1 {
+		t.Fatalf("flood delivered %d copies into a 2-member group, want 1", got)
+	}
+}
+
+// Group bookkeeping is validated at registration.
+func TestAddGroupValidates(t *testing.T) {
+	e := sim.NewEngine()
+	sw := New(e, Config{Ports: 4})
+	gid := sw.AddGroup(1, 2)
+	if ports := sw.GroupPorts(gid); len(ports) != 2 || ports[0] != 1 || ports[1] != 2 {
+		t.Fatalf("GroupPorts = %v", ports)
+	}
+	for _, fn := range []func(){
+		func() { sw.AddGroup(3) },          // too few members
+		func() { sw.AddGroup(2, 3) },       // port 2 already grouped
+		func() { sw.AddGroup(0, 9) },       // out of range
+		func() { sw.LearnGroup(macA, 99) }, // unknown group
+		func() { sw.LearnGroup(macA, 0) },  // groups are 1-based
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid group operation did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// LAG-aware learning: reverse traffic arriving over a bundle member
+// must not collapse a group-learned station onto that single member;
+// arrival on a non-member port (a real station move) must relearn.
+func TestGroupLearningSurvivesReverseTraffic(t *testing.T) {
+	tp := newTopo(t, Config{Ports: 4}, 4)
+	gid := tp.sw.AddGroup(1, 2)
+	tp.sw.LearnGroup(macB, gid)
+
+	// B replies over member port 2: the group pin must survive, so
+	// traffic for B keeps spraying (8 flows must still use both members).
+	tp.sw.Learn(macA, 0)
+	tp.send(2, udpFrame(macB, macA, 64))
+	for flow := 0; flow < 8; flow++ {
+		f := wire.NewFrame(packet.UDPSpec{
+			SrcMAC: macA, DstMAC: macB,
+			SrcIP: packet.IP4{10, 0, 0, 1}, DstIP: packet.IP4{10, 0, 0, 2},
+			SrcPort: uint16(1000 + flow), DstPort: 2000, FrameSize: 128,
+		}.Build())
+		tp.send(0, f)
+	}
+	tp.e.Run()
+	if len(tp.rx[1]) == 0 || len(tp.rx[2]) == 0 {
+		t.Fatalf("reverse traffic collapsed the bundle: member counts %d/%d",
+			len(tp.rx[1]), len(tp.rx[2]))
+	}
+
+	// B then shows up on non-member port 3: the station moved, so the
+	// group pin is replaced and traffic follows it there.
+	tp.send(3, udpFrame(macB, macA, 64))
+	before := len(tp.rx[3])
+	tp.send(0, udpFrame(macA, macB, 64))
+	tp.e.Run()
+	if len(tp.rx[3]) != before+1 {
+		t.Fatal("station move off the bundle was not relearned")
+	}
+}
+
+// A frame must never be sprayed back into the bundle it arrived on:
+// ingress on one member, destination group-learned on the same bundle,
+// is a hairpin drop even when the hash picks the sibling member.
+func TestGroupHairpinDropped(t *testing.T) {
+	tp := newTopo(t, Config{Ports: 4}, 4)
+	gid := tp.sw.AddGroup(1, 2)
+	tp.sw.LearnGroup(macB, gid)
+	ledger := &wire.DropLedger{}
+	hop := ledger.Add("sw")
+	tp.sw.SetDropSite(ledger, hop)
+
+	// 8 flows in from member port 1 toward the group: with a correct
+	// hairpin rule nothing leaves on either member.
+	for flow := 0; flow < 8; flow++ {
+		f := wire.NewFrame(packet.UDPSpec{
+			SrcMAC: macC, DstMAC: macB,
+			SrcIP: packet.IP4{10, 0, 0, 3}, DstIP: packet.IP4{10, 0, 0, 2},
+			SrcPort: uint16(4000 + flow), DstPort: 2000, FrameSize: 128,
+		}.Build())
+		tp.send(1, f)
+	}
+	tp.e.Run()
+	if got := len(tp.rx[1]) + len(tp.rx[2]); got != 0 {
+		t.Fatalf("%d frames sprayed back into their own bundle", got)
+	}
+	if got := tp.sw.HairpinDrops(); got != 8 {
+		t.Fatalf("HairpinDrops = %d, want 8", got)
+	}
+	if got := ledger.Count(hop, wire.DropHairpin); got != 8 {
+		t.Fatalf("ledger hairpins = %d, want 8", got)
+	}
+}

@@ -87,6 +87,11 @@ type node struct {
 	dutCfg    switchsim.Config
 	ofCfg     ofswitch.Config
 
+	// hop is the node's loss-ledger hop ID (for DUTs it equals the
+	// HopTrace hop ID, so latency decomposition and loss attribution
+	// share a namespace).
+	hop int
+
 	// instantiated handles (one of these, post-Build). The sink lives in
 	// the node itself: one allocation per node, not two.
 	tester *core.Device
@@ -118,8 +123,17 @@ type Builder struct {
 	nodes  []*node
 	byName map[string]*node
 	edges  []Edge
+	groups []groupDecl
 	errs   []error
 	built  bool
+}
+
+// groupDecl records one Group declaration: its member edges live at
+// edges[start:start+n], and Build additionally checks that all members
+// resolve to one rate (ECMP members must be equal-cost).
+type groupDecl struct {
+	from, to string
+	start, n int
 }
 
 // New returns an empty scenario graph. Capacities cover the common rigs
@@ -215,6 +229,47 @@ func (b *Builder) ConvertAt(from, to string, delay sim.Duration) *Builder {
 func (b *Builder) Add(e Edge) *Builder {
 	b.edges = append(b.edges, e)
 	return b
+}
+
+// offsetRef shifts the port of a "node" or "node:port" reference by k
+// (the port defaults to 0). Malformed references pass through unchanged
+// so edge validation reports them with the usual message.
+func offsetRef(ref string, k int) string {
+	name, portStr, hasPort := strings.Cut(ref, ":")
+	port := 0
+	if hasPort {
+		p, err := strconv.Atoi(portStr)
+		if err != nil || p < 0 {
+			return ref
+		}
+		port = p
+	}
+	return name + ":" + strconv.Itoa(port+k)
+}
+
+// Group declares n parallel unidirectional edges from → to — a
+// multi-edge group link, the fabric idiom for N×uplink bundles: member
+// k joins from's port+k to to's port+k. Every member is validated
+// exactly like a single edge (port ranges, reuse, rate agreement), and
+// all members must resolve to one rate — ECMP spraying across the
+// bundle (switchsim.AddGroup over the same ports) assumes equal-cost
+// members. n must be at least 2.
+func (b *Builder) Group(from, to string, n int) *Builder {
+	if n < 2 {
+		b.errs = append(b.errs, fmt.Errorf("topo: group link %s → %s needs ≥2 members, got %d", from, to, n))
+		return b
+	}
+	b.groups = append(b.groups, groupDecl{from: from, to: to, start: len(b.edges), n: n})
+	for k := 0; k < n; k++ {
+		b.edges = append(b.edges, Edge{From: offsetRef(from, k), To: offsetRef(to, k)})
+	}
+	return b
+}
+
+// GroupDuplex declares the two directions of an n-wide group link: n
+// parallel cables between a's ports a..a+n-1 and c's ports c..c+n-1.
+func (b *Builder) GroupDuplex(a, c string, n int) *Builder {
+	return b.Group(a, c, n).Group(c, a, n)
 }
 
 // endpoint is one resolved side of an edge.
@@ -369,9 +424,34 @@ func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
 				cfg.HopID = nextHop
 				nextHop++
 			}
+			n.hop = cfg.HopID
 			n.dut = switchsim.New(e, cfg)
 		case kindOFSwitch:
 			n.of = ofswitch.New(e, n.ofCfg)
+		}
+	}
+
+	// Thread the scenario's loss-attribution ledger, the way hop IDs
+	// thread the latency trace: DUTs report drops under their HopTrace
+	// hop ID (so per-hop loss and per-hop latency line up), then every
+	// other device that can lose frames — OpenFlow switches, tester
+	// cards, and later each attached monitor — registers at the next
+	// free hop in declaration order.
+	drops := &wire.DropLedger{}
+	for _, n := range b.nodes {
+		if n.kind == kindDUT {
+			drops.Register(n.hop, n.name)
+			n.dut.SetDropSite(drops, n.hop)
+		}
+	}
+	for _, n := range b.nodes {
+		switch n.kind {
+		case kindOFSwitch:
+			n.hop = drops.Add(n.name)
+			n.of.SetDropSite(drops, n.hop)
+		case kindTester:
+			n.hop = drops.Add(n.name)
+			n.tester.Card.SetDropSite(drops, n.hop)
 		}
 	}
 
@@ -469,6 +549,27 @@ func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
 		wires = append(wires, resolved{from: from, to: to, rate: rate, delay: edge.Delay})
 	}
 
+	// Group members must be equal-cost: ECMP spraying across a bundle
+	// whose members run at different rates would silently weight flows
+	// by hash luck, so a mixed-rate group is a construction error.
+	for _, g := range b.groups {
+		var rate wire.Rate
+		for k := 0; k < g.n; k++ {
+			from, err := resolveRef(b.byName, b.edges[g.start+k].From)
+			if err != nil {
+				break // already reported by the edge loop
+			}
+			r := from.n.rateAt(from.port)
+			if k == 0 {
+				rate = r
+			} else if r != rate {
+				errs = append(errs, fmt.Errorf("topo: group link %s → %s mixes member rates %v and %v",
+					g.from, g.to, rate, r))
+				break
+			}
+		}
+	}
+
 	if len(errs) > 0 {
 		return nil, validationError(errs)
 	}
@@ -480,7 +581,7 @@ func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
 	// The topology takes over the builder's name index; the built flag
 	// keeps a stale Builder from re-pointing these handles elsewhere.
 	b.built = true
-	return &Topology{Engine: e, byName: b.byName}, nil
+	return &Topology{Engine: e, byName: b.byName, drops: drops}, nil
 }
 
 // MustBuild is Build, panicking on validation errors — the spelling for
@@ -499,6 +600,24 @@ type Topology struct {
 	Engine *sim.Engine
 
 	byName map[string]*node
+	drops  *wire.DropLedger
+}
+
+// Drops returns the scenario's loss-attribution ledger: every device
+// Build instantiated (and every monitor attached through
+// AttachMonitor) reports its discarded frames into it as (hop, reason),
+// so sent = delivered + Σ ledger drops holds across the whole graph.
+// stats.NewLossMap reduces it to the printable per-hop table.
+func (t *Topology) Drops() *wire.DropLedger { return t.drops }
+
+// Hop returns a node's loss-ledger hop ID (for DUTs, also its HopTrace
+// hop ID).
+func (t *Topology) Hop(name string) int {
+	n, ok := t.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("topo: no node %q", name))
+	}
+	return n.hop
 }
 
 func (t *Topology) node(name string, k kind) *node {
@@ -551,6 +670,9 @@ func (t *Topology) AttachMonitor(ref string, cfg mon.Config) *mon.Monitor {
 	if err != nil {
 		panic(fmt.Sprintf("topo: monitor on %s: %v", ref, err))
 	}
+	// The monitor is a loss point of its own (filter rejects, DMA ring
+	// overflow): register it on the scenario ledger in attach order.
+	m.SetDropSite(t.drops, t.drops.Add("mon:"+ref))
 	return m
 }
 

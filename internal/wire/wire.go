@@ -205,6 +205,13 @@ type Link struct {
 	txFrames  uint64
 	txBytes   uint64 // wire bytes including overhead
 
+	// Loss attribution: a link with no peer is an unterminated fibre —
+	// frames serialised into it vanish. That used to be silent; now it
+	// is counted and (when a drop site is attached) attributed.
+	drops  uint64
+	ledger *DropLedger
+	hop    int
+
 	// pending is the in-flight FIFO: frames serialised but not yet
 	// delivered, in departure (= arrival) order. One reusable event —
 	// armed at the head's arrival instant — drains it, so a burst of N
@@ -266,26 +273,41 @@ func (l *Link) TransmitAt(f *Frame, earliest sim.Time) sim.Time {
 	l.busyUntil = end
 	l.txFrames++
 	l.txBytes += uint64(WireBytes(f.Size))
-	if l.Peer != nil {
-		firstBit := start.Add(l.Delay)
-		lastBit := end.Add(l.Delay)
-		l.pending.Push(inflight{f: f, firstBit: firstBit, lastBit: lastBit})
-		// Frames joining a burst ride the already-armed event; only the
-		// first frame of a burst arms it.
-		if l.pending.Len() == 1 {
-			eventAt := lastBit
-			if now := l.Engine.Now(); eventAt < now {
-				eventAt = now
-			}
-			if l.deliverEv == nil {
-				l.deliverEv = l.Engine.Schedule(eventAt, l.deliver)
-			} else {
-				l.Engine.Reschedule(l.deliverEv, eventAt)
-			}
+	if l.Peer == nil {
+		// Unterminated link: the frame occupies the wire but nobody
+		// receives it. Account the loss and recycle the frame.
+		l.drops++
+		l.ledger.Report(l.hop, DropUnterminated, 1)
+		f.Release()
+		return end
+	}
+	firstBit := start.Add(l.Delay)
+	lastBit := end.Add(l.Delay)
+	l.pending.Push(inflight{f: f, firstBit: firstBit, lastBit: lastBit})
+	// Frames joining a burst ride the already-armed event; only the
+	// first frame of a burst arms it.
+	if l.pending.Len() == 1 {
+		eventAt := lastBit
+		if now := l.Engine.Now(); eventAt < now {
+			eventAt = now
+		}
+		if l.deliverEv == nil {
+			l.deliverEv = l.Engine.Schedule(eventAt, l.deliver)
+		} else {
+			l.Engine.Reschedule(l.deliverEv, eventAt)
 		}
 	}
 	return end
 }
+
+// SetDropSite attaches the scenario's loss-attribution ledger: drops on
+// this link (unterminated-fibre frames) report as (hop, reason) into it.
+func (l *Link) SetDropSite(ledger *DropLedger, hop int) {
+	l.ledger, l.hop = ledger, hop
+}
+
+// Drops returns frames lost to an unterminated link (no peer).
+func (l *Link) Drops() uint64 { return l.drops }
 
 // InFlight returns the number of frames serialised but not yet delivered
 // to the peer. However deep the burst, it is drained by a single pending
