@@ -31,6 +31,7 @@ const (
 	benchE14Dur = sim.Millisecond
 	benchE15Dur = sim.Millisecond
 	benchE16Dur = 2 * sim.Millisecond
+	benchE17Dur = 2 * sim.Millisecond
 )
 
 func BenchmarkE1LineRate(b *testing.B) {
@@ -213,6 +214,18 @@ func BenchmarkE16LossAttribution(b *testing.B) {
 	}
 }
 
+func BenchmarkE17FlowAnalytics(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E17FlowAnalytics(benchE17Dur)
+		for _, row := range tbl.Rows {
+			if row[10] != "true" {
+				b.Fatalf("flow analytics invariant failed: %v", row)
+			}
+		}
+	}
+}
+
 // BenchmarkDUTSpray2W isolates the ECMP spray hot path: 64 B line-rate
 // traffic hashed across a two-member uplink group.
 func BenchmarkDUTSpray2W(b *testing.B) {
@@ -232,6 +245,29 @@ func BenchmarkMonSteer8Q(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if experiments.SteerMicroBench(sim.Millisecond) == 0 {
 			b.Fatal("steering rig delivered nothing")
+		}
+	}
+}
+
+// BenchmarkMonMerge8Q isolates the k-way merge hot path: 64 B line-rate
+// capture dealt round-robin across 8 idealised queues and re-sequenced
+// into global (TS, Queue, Seq) order.
+func BenchmarkMonMerge8Q(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if experiments.MergeMicroBench(sim.Millisecond) == 0 {
+			b.Fatal("merge rig emitted nothing")
+		}
+	}
+}
+
+// BenchmarkFlowTableUpsert isolates the flow-analytics upsert hot path:
+// 2^20 samples over 512 flows into the flow table and both sketches.
+func BenchmarkFlowTableUpsert(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if experiments.FlowTableMicroBench() == 0 {
+			b.Fatal("flow table tracked nothing")
 		}
 	}
 }

@@ -2,8 +2,10 @@
 // scaling benchmarks in-process (the same drivers BenchmarkE1LineRate,
 // BenchmarkE10TesterMesh, BenchmarkE11Rate40G, BenchmarkE12MixedRateFanIn,
 // BenchmarkE13MultiDUTChain, BenchmarkE14Capture100G,
-// BenchmarkE15Oversubscribed, BenchmarkE16LossAttribution and the
-// BenchmarkMonSteer8Q / BenchmarkDUTSpray2W micro-benchmarks iterate),
+// BenchmarkE15Oversubscribed, BenchmarkE16LossAttribution,
+// BenchmarkE17FlowAnalytics and the BenchmarkMonSteer8Q /
+// BenchmarkDUTSpray2W / BenchmarkMonMerge8Q / BenchmarkFlowTableUpsert
+// micro-benchmarks iterate),
 // writes the measured ns/op and
 // allocs/op to a JSON report, and compares the report against a
 // checked-in baseline with per-metric tolerances. CI fails the build when
@@ -61,8 +63,11 @@ var benchmarks = []struct {
 	{"E14Capture100G", func() { experiments.E14Capture100G(sim.Millisecond) }},
 	{"E15Oversub", func() { experiments.E15Oversubscribed(sim.Millisecond) }},
 	{"E16LossAttr", func() { experiments.E16LossAttribution(2 * sim.Millisecond) }},
+	{"E17FlowAnalytics", func() { experiments.E17FlowAnalytics(2 * sim.Millisecond) }},
 	{"MonSteer8Q", func() { experiments.SteerMicroBench(sim.Millisecond) }},
 	{"DUTSpray2W", func() { experiments.SprayMicroBench(sim.Millisecond) }},
+	{"MonMerge8Q", func() { experiments.MergeMicroBench(sim.Millisecond) }},
+	{"FlowTableUpsert", func() { experiments.FlowTableMicroBench() }},
 }
 
 // measure runs fn count times and returns the minimum wall time and

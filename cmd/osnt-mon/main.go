@@ -11,6 +11,14 @@
 //	osnt-mon -filter-dport 53 -out dns.pcap
 //	osnt-mon -queues 4 -steer hash -snap 64 -load 1.0
 //	osnt-mon -losses -load 1.0         # per-hop/per-reason loss attribution
+//	osnt-mon -queues 8 -flows 64 -heavy 8  # merged capture + per-flow analytics
+//
+// With -flows the capture queues feed a k-way merge that restores the
+// global hardware-timestamp order before any sink runs — the PCAP comes
+// out globally ordered even across queues — and the merged stream drives
+// a flow table plus count-min/space-saving sketches, printed after the
+// run. Flow keying forces header-only hashing (the embedded TX timestamp
+// must not enter the digest).
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"os"
 
 	"osnt/internal/filter"
+	"osnt/internal/flowstats"
 	"osnt/internal/gen"
 	"osnt/internal/mon"
 	"osnt/internal/netfpga"
@@ -45,10 +54,20 @@ func main() {
 	queues := flag.Int("queues", 1, "DMA capture queues (per-queue ring + host core)")
 	steer := flag.String("steer", "hash", "queue steering policy: hash (RSS) or rr (round-robin)")
 	losses := flag.Bool("losses", false, "print the per-hop/per-reason loss attribution table")
+	flows := flag.Int("flows", 0, "generate N UDP flows and print per-flow analytics over the merged capture (0 = off; forces header-only hashing and TX timestamp embedding)")
+	heavy := flag.Int("heavy", 8, "heavy-hitter summary size for -flows")
 	flag.Parse()
 
 	if *queues < 1 {
 		log.Fatalf("-queues %d: need at least one capture queue", *queues)
+	}
+	if *flows > 0 {
+		if *size < gen.DefaultTimestampOffset+gen.TimestampLen {
+			log.Fatalf("-flows needs -size ≥ %d to carry the embedded TX timestamp", gen.DefaultTimestampOffset+gen.TimestampLen)
+		}
+		// Flow keying must hash headers only: the embedded timestamp
+		// starts right after them and differs packet by packet.
+		*hashBytes = packet.HeaderDigestBytes
 	}
 	var policy mon.Steer
 	switch *steer {
@@ -97,6 +116,16 @@ func main() {
 	}
 
 	var captured uint64
+	emit := func(rec mon.Record) {
+		captured++
+		if sink != nil {
+			if err := sink.Write(pcap.Record{
+				TS: rec.TS.Sim(), Data: rec.Data, OrigLen: rec.WireSize - wire.FCSLen,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 	qcfgs := make([]mon.QueueConfig, *queues)
 	for i := range qcfgs {
 		qcfgs[i] = mon.QueueConfig{RingSize: *ring}
@@ -107,21 +136,34 @@ func main() {
 		HashBytes: *hashBytes,
 		Queues:    qcfgs,
 		Steer:     policy,
-		Sink: func(rec mon.Record) {
-			captured++
-			if sink != nil {
-				if err := sink.Write(pcap.Record{
-					TS: rec.TS.Sim(), Data: rec.Data, OrigLen: rec.WireSize - wire.FCSLen,
-				}); err != nil {
-					log.Fatal(err)
-				}
-			}
-		},
+		Sink:      emit,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	monitor.SetDropSite(ledger, ledger.Add("mon"))
+
+	// -flows: interpose the k-way merge between the queues and the sink,
+	// so the PCAP and the analytics both see one globally ordered stream.
+	var merge *mon.Merge
+	var ft *flowstats.FlowTable
+	var ss *flowstats.SpaceSaving
+	var cm *flowstats.CountMin
+	if *flows > 0 {
+		ft = flowstats.NewFlowTable(4 * *flows)
+		ss = flowstats.NewSpaceSaving(*heavy)
+		cm = flowstats.NewCountMin(4, 1<<12)
+		merge = mon.NewMerge(monitor, func(rec mon.Record) {
+			s := flowstats.Sample{Digest: rec.Hash, RxTS: rec.TS, Wire: rec.WireSize, Trace: rec.Trace}
+			if tx, ok := gen.ExtractTimestamp(rec.Data, gen.DefaultTimestampOffset); ok {
+				s.TxTS, s.HasTx = tx, true
+			}
+			ft.Observe(s)
+			ss.Add(rec.Hash, 1)
+			cm.Add(rec.Hash, 1)
+			emit(rec)
+		})
+	}
 
 	spec := packet.UDPSpec{
 		SrcMAC:  packet.MAC{0x02, 0x05, 0x17, 0, 0, 0x01},
@@ -130,9 +172,14 @@ func main() {
 		DstIP:   packet.IP4{10, 0, 0, 2},
 		SrcPort: 5000, DstPort: 7000,
 	}
+	numFlows := 8
+	if *flows > 0 {
+		numFlows = *flows
+	}
 	g, err := gen.New(txCard.Port(0), gen.Config{
-		Source:  &gen.UDPFlowSource{Spec: spec, NumFlows: 8, FrameSize: *size},
-		Spacing: gen.CBRForLoad(*size, wire.Rate10G, *load),
+		Source:         &gen.UDPFlowSource{Spec: spec, NumFlows: numFlows, FrameSize: *size},
+		Spacing:        gen.CBRForLoad(*size, wire.Rate10G, *load),
+		EmbedTimestamp: *flows > 0,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -141,6 +188,9 @@ func main() {
 	e.RunUntil(sim.Time(*durMS) * sim.Time(sim.Millisecond))
 	g.Stop()
 	e.Run()
+	if merge != nil {
+		merge.Flush()
+	}
 
 	fmt.Printf("pipeline: seen %d, filtered %d, accepted %d, ring drops %d, delivered %d\n",
 		monitor.Seen().Packets, monitor.Filtered(), monitor.Accepted().Packets,
@@ -168,6 +218,41 @@ func main() {
 		)
 	}
 	fmt.Println(qt.String())
+
+	if merge != nil {
+		fmt.Printf("merged stream: %d records in global (ts, queue, seq) order, %d order violations, %d overflow samples\n",
+			merge.Emitted(), merge.OrderViolations(), ft.Overflow())
+		fTbl := &stats.Table{
+			Title:   fmt.Sprintf("per-flow analytics over the merged capture (top %d of %d tracked flows)", *heavy, ft.Len()),
+			Columns: []string{"rank", "flow-digest", "pkts", "bytes", "lat-mean(µs)", "lat-max(µs)", "reorders", "holes"},
+		}
+		for i, f := range ft.Top(*heavy) {
+			fTbl.AddRow(
+				fmt.Sprintf("%d", i+1),
+				fmt.Sprintf("%016x", f.Digest),
+				fmt.Sprintf("%d", f.Packets),
+				fmt.Sprintf("%d", f.Bytes),
+				fmt.Sprintf("%.2f", f.LatencyMean().Seconds()*1e6),
+				fmt.Sprintf("%.2f", f.LatencyMax().Seconds()*1e6),
+				fmt.Sprintf("%d", f.Reorders),
+				fmt.Sprintf("%d", f.Holes),
+			)
+		}
+		fmt.Println(fTbl.String())
+		hTbl := &stats.Table{
+			Title:   "heavy hitters (space-saving summary, count-min cross-check)",
+			Columns: []string{"flow-digest", "count", "err", "cm-est"},
+		}
+		for _, h := range ss.Top(*heavy) {
+			hTbl.AddRow(
+				fmt.Sprintf("%016x", h.Digest),
+				fmt.Sprintf("%d", h.Count),
+				fmt.Sprintf("%d", h.Err),
+				fmt.Sprintf("%d", cm.Estimate(h.Digest)),
+			)
+		}
+		fmt.Println(hTbl.String())
+	}
 
 	if *losses {
 		// Conservation closes over the whole rig: every frame the

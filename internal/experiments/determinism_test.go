@@ -39,6 +39,7 @@ func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
 		{"E14", func() *stats.Table { return E14Capture100G(sim.Millisecond) }},
 		{"E15", func() *stats.Table { return E15Oversubscribed(2 * sim.Millisecond) }},
 		{"E16", func() *stats.Table { return E16LossAttribution(2 * sim.Millisecond) }},
+		{"E17", func() *stats.Table { return E17FlowAnalytics(2 * sim.Millisecond) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

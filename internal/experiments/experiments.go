@@ -3,7 +3,8 @@
 // testbed enables beyond it (E9 multi-port, E10 tester mesh, E11 40G
 // ports, E12 mixed-rate fan-in, E13 multi-DUT chain decomposition, E14
 // 100G multi-queue capture, E15 oversubscribed ECMP fabric, E16 per-hop
-// loss attribution).
+// loss attribution, E17 per-flow analytics over merged multi-queue
+// capture).
 // Each driver declares its rig as an internal/topo scenario
 // graph, runs the workload in virtual time and returns a printable table
 // whose shape can be compared against the paper; the cmd/osnt-bench
@@ -492,5 +493,6 @@ func All() []*stats.Table {
 		E14Capture100G(0),
 		E15Oversubscribed(0),
 		E16LossAttribution(0),
+		E17FlowAnalytics(0),
 	}
 }

@@ -335,3 +335,58 @@ func TestSprayMicroBenchSpreads(t *testing.T) {
 		t.Fatalf("spray rig delivered %d packets in a 64B line-rate millisecond, want ≈14881", total)
 	}
 }
+
+// E17: the per-flow analytics must not depend on the capture-queue
+// topology — every queue-count block reports the same stream digest,
+// merged count and flow rows — and the inferred loss must agree with the
+// schedule's exact arithmetic on a CBR workload.
+func TestE17AnalyticsQueueInvariant(t *testing.T) {
+	tbl := E17FlowAnalytics(2 * sim.Millisecond)
+	if len(tbl.Rows) != len(E17QueueCounts)*e17TopK {
+		t.Fatalf("rows %d, want %d", len(tbl.Rows), len(E17QueueCounts)*e17TopK)
+	}
+	ref := tbl.Rows[:e17TopK]
+	for b := 1; b < len(E17QueueCounts); b++ {
+		blk := tbl.Rows[b*e17TopK : (b+1)*e17TopK]
+		for r := range blk {
+			// Everything except the queue-count column must match the
+			// 8-queue reference block cell for cell.
+			for c := 1; c < len(tbl.Columns); c++ {
+				if blk[r][c] != ref[r][c] {
+					t.Fatalf("queue count %s diverged at rank %d col %s: %q vs %q",
+						blk[r][0], r+1, tbl.Columns[c], blk[r][c], ref[r][c])
+				}
+			}
+		}
+	}
+	for _, row := range tbl.Rows {
+		if row[10] != "true" {
+			t.Fatalf("row failed its invariants: %v", row)
+		}
+		if row[7] != "0" {
+			t.Fatalf("store-and-forward DUT reordered a flow: %v", row)
+		}
+		lossEx, lossInf := parseF(t, row[4]), parseF(t, row[5])
+		if lossEx <= 0 {
+			t.Fatalf("starved lookup lost nothing — the workload no longer exercises inference: %v", row)
+		}
+		if d := lossInf - lossEx; d < -0.5 || d > 0.5 {
+			t.Fatalf("inferred loss %v%% disagrees with exact %v%%: %v", lossInf, lossEx, row)
+		}
+	}
+}
+
+// The merge micro-rig deals a line-rate 64B millisecond round-robin
+// across 8 queues and must re-emit every record.
+func TestMergeMicroBenchEmitsLineRate(t *testing.T) {
+	if got := MergeMicroBench(sim.Millisecond); got < 14000 {
+		t.Fatalf("merge rig emitted %d packets in a 64B line-rate millisecond, want ≈14881", got)
+	}
+}
+
+// The flow-table micro-rig tracks all of its synthetic samples.
+func TestFlowTableMicroBenchTracksAll(t *testing.T) {
+	if got := FlowTableMicroBench(); got != 1<<20 {
+		t.Fatalf("tracked %d of %d samples", got, 1<<20)
+	}
+}

@@ -55,6 +55,11 @@ type Record struct {
 	// Queue is the capture queue whose ring carried the record (0 on a
 	// single-queue monitor).
 	Queue int
+	// Seq is the record's per-queue admission sequence number (0-based,
+	// counting ring admissions, not drops). Within one queue, (TS, Seq)
+	// is strictly increasing; across queues, (TS, Queue, Seq) is the
+	// total order Merge reconstructs.
+	Seq uint64
 	// Rule is the index of the filter rule that accepted the packet, or
 	// -1 for the default action.
 	Rule int
@@ -215,6 +220,10 @@ type queue struct {
 	// allows it; bounded by the ring capacity.
 	bufFree [][]byte
 
+	// seq numbers ring admissions; stamped into Record.Seq so a merge
+	// can break equal-timestamp ties deterministically.
+	seq uint64
+
 	seen      stats.Counter // accepted packets steered to this queue
 	accepted  stats.Counter // admitted to the descriptor ring
 	ringDrops uint64        // lost to ring overflow
@@ -248,6 +257,13 @@ type Monitor struct {
 	seen     stats.Counter // all frames presented to the pipeline
 	accepted stats.Counter // past the filter stage
 	filtered uint64        // dropped by filter verdict
+
+	// maxTS is the high-water mark of hardware timestamps presented to
+	// the pipeline. MAC timestamps are latched in arrival order on one
+	// engine, so every future record carries TS ≥ maxTS — the watermark
+	// a streaming merge needs to know when a buffered record can no
+	// longer be preceded by anything still in flight.
+	maxTS timing.Timestamp
 
 	// Loss attribution: when a drop site is attached
 	// (topo.AttachMonitor threads the scenario ledger), filter rejects
@@ -352,6 +368,9 @@ func Attach(port *netfpga.Port, cfg Config) *Monitor {
 
 func (m *Monitor) onReceive(f *wire.Frame, at sim.Time, ts timing.Timestamp) {
 	m.seen.Add(wire.WireBytes(f.Size))
+	if ts > m.maxTS {
+		m.maxTS = ts
+	}
 
 	data := f.Data
 	snap := m.cfg.SnapLen
@@ -401,8 +420,9 @@ func (m *Monitor) onReceive(f *wire.Frame, at sim.Time, ts timing.Timestamp) {
 	q.ring = append(q.ring, Record{
 		Data: cp, WireSize: f.Size, TS: ts, Arrival: at,
 		Port: m.port.Index(), Queue: q.idx, Rule: ruleIdx, Hash: hash,
-		Trace: f.Trace,
+		Seq: q.seq, Trace: f.Trace,
 	})
+	q.seq++
 	q.drain()
 }
 

@@ -136,6 +136,14 @@ func fnvBytes(h uint64, b []byte) uint64 {
 
 func fnvByte(h uint64, v byte) uint64 { return (h ^ uint64(v)) * fnvPrime }
 
+// HeaderDigestBytes covers exactly the L2–L4 headers of an untagged
+// IPv4/UDP probe (Ethernet 14 + IPv4 20 + UDP 8). Hashing this prefix
+// and no more gives one digest per flow: payload bytes — in particular
+// a generator's embedded transmit timestamp, which starts right at this
+// offset — differ packet by packet and would split every flow apart.
+// RSS steering, ECMP spray and flow analytics all key on it.
+const HeaderDigestBytes = 42
+
 // PacketDigest returns a 64-bit FNV-1a hash over up to the first n bytes
 // of the frame. The OSNT monitor's hardware hash unit uses this to let
 // software match a thinned capture against the original packet.

@@ -83,3 +83,33 @@ func TestLossMapSnapshots(t *testing.T) {
 		t.Fatalf("snapshot moved: %d", got)
 	}
 }
+
+// Regression: NewLossMap calls ledger.Hops() (and Count/Label) directly,
+// which is only safe because every DropLedger method is nil-safe on the
+// receiver. A rig without loss attribution (osnt-mon before any drop
+// site is added, hand-built monitors with no SetDropSite) passes a nil
+// ledger, and both the map and its rendered table must keep working.
+func TestLossMapNilLedger(t *testing.T) {
+	lm := NewLossMap(10, 10, nil)
+	if len(lm.Entries()) != 0 {
+		t.Fatalf("nil ledger produced %d entries", len(lm.Entries()))
+	}
+	if lm.Attributed() != 0 {
+		t.Fatalf("nil ledger attributed %d drops", lm.Attributed())
+	}
+	if !lm.Conserved() {
+		t.Fatal("10 sent = 10 delivered + 0 attributed should conserve")
+	}
+	if s := lm.Table().String(); !strings.Contains(s, "conserved exactly") {
+		t.Fatalf("nil-ledger table missing conservation verdict:\n%s", s)
+	}
+
+	// Unaccounted loss with no ledger must surface, not panic.
+	lm = NewLossMap(10, 7, nil)
+	if lm.Conserved() {
+		t.Fatal("3 unattributed losses must not conserve")
+	}
+	if s := lm.Table().String(); !strings.Contains(s, "NOT conserved (off by 3)") {
+		t.Fatalf("nil-ledger table hides the unattributed loss:\n%s", s)
+	}
+}

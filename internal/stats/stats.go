@@ -61,13 +61,15 @@ func bucketLow(i int) int64 {
 }
 
 // Record adds one sample. Negative samples are clamped to zero (latency
-// can round slightly negative when two clocks disagree; the clamp keeps
-// the histogram meaningful while Mean still reflects the raw value).
+// can round slightly negative when two clocks disagree). The clamp
+// applies before any accumulation, so Mean, Min, Max and every
+// percentile describe the same clamped sample — they can never disagree
+// about a negative tail.
 func (h *Histogram) Record(v int64) {
-	h.sum += float64(v)
 	if v < 0 {
 		v = 0
 	}
+	h.sum += float64(v)
 	if v < h.min {
 		h.min = v
 	}
@@ -81,7 +83,7 @@ func (h *Histogram) Record(v int64) {
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
 
-// Mean returns the arithmetic mean of the raw samples.
+// Mean returns the arithmetic mean of the recorded (clamped) samples.
 func (h *Histogram) Mean() float64 {
 	if h.count == 0 {
 		return 0
@@ -103,7 +105,9 @@ func (h *Histogram) Max() int64 { return h.max }
 
 // Percentile returns the value at quantile p in [0,100]. The result is
 // the lower bound of the bucket containing the quantile, so it
-// underestimates by at most one part in 64.
+// underestimates by at most one part in 64 — except at p ≥ 100, which
+// returns the exact recorded maximum (the bucket floor would otherwise
+// understate the worst case by up to the same factor).
 func (h *Histogram) Percentile(p float64) int64 {
 	if h.count == 0 {
 		return 0
@@ -111,8 +115,8 @@ func (h *Histogram) Percentile(p float64) int64 {
 	if p < 0 {
 		p = 0
 	}
-	if p > 100 {
-		p = 100
+	if p >= 100 {
+		return h.max
 	}
 	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
 	if rank == 0 {

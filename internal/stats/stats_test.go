@@ -88,8 +88,60 @@ func TestHistogramNegativeClamp(t *testing.T) {
 	if h.Min() != 0 || h.Percentile(50) != 0 {
 		t.Fatal("negative sample not clamped to 0 bucket")
 	}
-	if h.Mean() != -5 {
-		t.Fatalf("Mean should keep raw value, got %v", h.Mean())
+	if h.Mean() != 0 {
+		t.Fatalf("Mean should reflect the clamped sample, got %v", h.Mean())
+	}
+}
+
+// Regression: Record used to add the raw value to the mean accumulator
+// while clamping only the bucketed copy, so mean and percentiles
+// described different sample sets on a negative tail. All statistics
+// must now agree on the clamped samples — Mean can never undershoot
+// Percentile(0).
+func TestHistogramNegativeSamplesConsistent(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-500)
+	h.Record(100)
+	if got := h.Mean(); got != 50 {
+		t.Fatalf("Mean = %v, want 50 (clamped samples 0 and 100)", got)
+	}
+	if h.Min() != 0 || h.Max() != 100 {
+		t.Fatalf("min/max = %d/%d, want 0/100", h.Min(), h.Max())
+	}
+	if p0 := h.Percentile(0); float64(p0) > h.Mean() {
+		t.Fatalf("Percentile(0)=%d exceeds Mean=%v", p0, h.Mean())
+	}
+	// The same semantics must survive a Merge.
+	o := NewHistogram()
+	o.Record(-100)
+	h.Merge(o)
+	if got := h.Mean(); got != 100.0/3 {
+		t.Fatalf("merged Mean = %v, want %v", got, 100.0/3)
+	}
+}
+
+// Regression: Percentile(100) used to return the lower bound of the
+// last non-empty bucket — the scan always satisfies seen >= rank, so
+// the trailing `return h.max` was unreachable and the reported worst
+// case undershot the real maximum by up to 1/64. p=100 must return the
+// exact recorded max even when it sits above its bucket floor.
+func TestHistogramPercentile100ExactMax(t *testing.T) {
+	h := NewHistogram()
+	const v = 1_000_003 // not a bucket boundary: bucketLow(bucketIndex(v)) < v
+	if bucketLow(bucketIndex(v)) == v {
+		t.Fatal("test value sits on a bucket floor, pick another")
+	}
+	h.Record(1000)
+	h.Record(v)
+	if got := h.Percentile(100); got != v {
+		t.Fatalf("Percentile(100) = %d, want exact max %d", got, v)
+	}
+	if got := h.Percentile(200); got != v {
+		t.Fatalf("Percentile(200) = %d, want clamp to exact max %d", got, v)
+	}
+	// Just below 100 still reports the (floored) bucket bound.
+	if got := h.Percentile(99.999); got > v {
+		t.Fatalf("Percentile(99.999) = %d exceeds max %d", got, v)
 	}
 }
 

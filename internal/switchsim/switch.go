@@ -224,20 +224,16 @@ func (s *Switch) GroupPorts(gid int) []int {
 	return append([]int(nil), s.groups[gid-1]...)
 }
 
-// sprayHashBytes covers exactly the L2–L4 headers of an untagged UDP
-// probe (Ethernet 14 + IPv4 20 + UDP 8). ECMP must hash headers only:
-// payload bytes — in particular the embedded TX timestamp at offset 42
-// — would move a flow between members packet by packet.
-const sprayHashBytes = 42
-
 // sprayMember picks the group member carrying this frame: the hardware
-// digest over the headers, whitened by packet.Mix64 (shared with the
-// monitor's RSS steering), modulo the member count. Per-flow stable,
-// deterministic, allocation-free.
+// digest over the L2–L4 headers (packet.HeaderDigestBytes — ECMP must
+// hash headers only, or the embedded TX timestamp would move a flow
+// between members packet by packet), whitened by packet.Mix64 (shared
+// with the monitor's RSS steering), modulo the member count. Per-flow
+// stable, deterministic, allocation-free.
 func (s *Switch) sprayMember(gid int, data []byte) int {
 	members := s.groups[gid-1]
 	s.sprays++
-	h := packet.Mix64(packet.PacketDigest(data, sprayHashBytes))
+	h := packet.Mix64(packet.PacketDigest(data, packet.HeaderDigestBytes))
 	return members[int(h%uint64(len(members)))]
 }
 
