@@ -32,6 +32,7 @@ const (
 	benchE15Dur = sim.Millisecond
 	benchE16Dur = 2 * sim.Millisecond
 	benchE17Dur = 2 * sim.Millisecond
+	benchE18Dur = sim.Millisecond
 )
 
 func BenchmarkE1LineRate(b *testing.B) {
@@ -221,6 +222,21 @@ func BenchmarkE17FlowAnalytics(b *testing.B) {
 		for _, row := range tbl.Rows {
 			if row[10] != "true" {
 				b.Fatalf("flow analytics invariant failed: %v", row)
+			}
+		}
+	}
+}
+
+// BenchmarkE18TrainSweep runs the frame-train coalescing sweep and
+// asserts its core contract: every row's stream digest matches the
+// per-frame (cap 1) reference run of its frame size.
+func BenchmarkE18TrainSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E18TrainSpeedup(benchE18Dur)
+		for _, row := range tbl.Rows {
+			if row[6] != "true" {
+				b.Fatalf("train run diverged from the per-frame reference: %v", row)
 			}
 		}
 	}

@@ -3,9 +3,10 @@
 // BenchmarkE10TesterMesh, BenchmarkE11Rate40G, BenchmarkE12MixedRateFanIn,
 // BenchmarkE13MultiDUTChain, BenchmarkE14Capture100G,
 // BenchmarkE15Oversubscribed, BenchmarkE16LossAttribution,
-// BenchmarkE17FlowAnalytics and the BenchmarkMonSteer8Q /
-// BenchmarkDUTSpray2W / BenchmarkMonMerge8Q / BenchmarkFlowTableUpsert
-// micro-benchmarks iterate),
+// BenchmarkE17FlowAnalytics, BenchmarkE18TrainSweep and the
+// BenchmarkMonSteer8Q / BenchmarkDUTSpray2W / BenchmarkMonMerge8Q /
+// BenchmarkFlowTableUpsert / BenchmarkPacketChecksum micro-benchmarks
+// iterate),
 // writes the measured ns/op and
 // allocs/op to a JSON report, and compares the report against a
 // checked-in baseline with per-metric tolerances. CI fails the build when
@@ -17,6 +18,12 @@
 //	benchgate                      # measure, write BENCH.json, compare to BENCH_BASELINE.json
 //	benchgate -write               # measure and (re)write the baseline instead of comparing
 //	benchgate -count 5 -tol-ns 1.5 # more samples, looser wall-time tolerance
+//	benchgate -expect-improve E14Capture100G:1.2
+//	                               # additionally fail unless E14 runs ≥1.2× faster than baseline
+//
+// Each measurement prints its percentage delta against the baseline as
+// it lands, so a CI log shows where the time went without a separate
+// diff step.
 //
 // Measurements run with Workers=1: serial sweeps keep allocation counts
 // reproducible (parallel workers shuffle sync.Pool hit rates), and the
@@ -32,9 +39,12 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"osnt/internal/experiments"
+	"osnt/internal/packet"
 	"osnt/internal/sim"
 )
 
@@ -64,10 +74,29 @@ var benchmarks = []struct {
 	{"E15Oversub", func() { experiments.E15Oversubscribed(sim.Millisecond) }},
 	{"E16LossAttr", func() { experiments.E16LossAttribution(2 * sim.Millisecond) }},
 	{"E17FlowAnalytics", func() { experiments.E17FlowAnalytics(2 * sim.Millisecond) }},
+	{"E18TrainSweep", func() { experiments.E18TrainSpeedup(sim.Millisecond) }},
 	{"MonSteer8Q", func() { experiments.SteerMicroBench(sim.Millisecond) }},
 	{"DUTSpray2W", func() { experiments.SprayMicroBench(sim.Millisecond) }},
 	{"MonMerge8Q", func() { experiments.MergeMicroBench(sim.Millisecond) }},
 	{"FlowTableUpsert", func() { experiments.FlowTableMicroBench() }},
+	{"PacketChecksum", checksumDriver},
+}
+
+// checksumSink keeps the checksum loop observable so the compiler cannot
+// elide it.
+var checksumSink uint16
+
+// checksumDriver is the in-process twin of BenchmarkPacketChecksum: the
+// word-at-a-time Internet checksum over a 1518 B frame, enough rounds
+// that one driver run costs a stable few milliseconds.
+func checksumDriver() {
+	data := make([]byte, 1518)
+	for i := range data {
+		data[i] = byte(i*31 + 7)
+	}
+	for i := 0; i < 20000; i++ {
+		checksumSink = packet.Checksum(data, uint32(i))
+	}
 }
 
 // measure runs fn count times and returns the minimum wall time and
@@ -103,10 +132,72 @@ type violation struct {
 }
 
 func (v violation) String() string {
-	if v.metric == "presence" {
+	switch v.metric {
+	case "presence":
 		return fmt.Sprintf("%s: missing from this run but present in the baseline (delete it from the baseline if removal was deliberate)", v.name)
+	case "improve":
+		return fmt.Sprintf("%s: ns/op %.0f misses the expected improvement (needs ≤ %.0f)", v.name, v.got, v.limit)
+	case "improve-presence":
+		return fmt.Sprintf("%s: named in -expect-improve but missing from the run or the baseline", v.name)
 	}
 	return fmt.Sprintf("%s: %s %.0f exceeds limit %.0f", v.name, v.metric, v.got, v.limit)
+}
+
+// pctDelta is the signed percentage change of cur over base: −34.2 means
+// cur is 34.2% below the baseline.
+func pctDelta(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+// parseExpectations parses the -expect-improve value: comma-separated
+// name:factor pairs, each demanding the named benchmark's ns/op be at
+// least factor× below the baseline (factor 1.2 = 20% faster).
+func parseExpectations(s string) (map[string]float64, error) {
+	exp := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("expect-improve %q: want name:factor", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 1 {
+			return nil, fmt.Errorf("expect-improve %q: factor must be a number ≥ 1", part)
+		}
+		exp[name] = f
+	}
+	return exp, nil
+}
+
+// checkImprovements enforces -expect-improve against the baseline: an
+// expectation fails when the measured ns/op exceeds baseline/factor, or
+// when the named benchmark is absent from either side — a silently
+// unmeasurable expectation must fail, not pass.
+func checkImprovements(got, baseline report, exp map[string]float64) []violation {
+	names := make([]string, 0, len(exp))
+	for name := range exp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []violation
+	for _, name := range names {
+		base, okBase := baseline[name]
+		cur, okGot := got[name]
+		if !okBase || !okGot {
+			out = append(out, violation{name, "improve-presence", 0, 0})
+			continue
+		}
+		if limit := base.NsPerOp / exp[name]; cur.NsPerOp > limit {
+			out = append(out, violation{name, "improve", cur.NsPerOp, limit})
+		}
+	}
+	return out
 }
 
 // compare checks every measured benchmark against the baseline. ns/op may
@@ -155,15 +246,42 @@ func main() {
 	count := flag.Int("count", 3, "samples per benchmark (minimum is reported)")
 	tolNS := flag.Float64("tol-ns", 1.25, "allowed ns/op growth factor over baseline")
 	tolAllocs := flag.Float64("tol-allocs", 1.10, "allowed allocs/op growth factor over baseline")
+	expectImprove := flag.String("expect-improve", "", "comma-separated name:factor pairs whose ns/op must beat the improve baseline by ≥ factor (e.g. E14Capture100G:1.2)")
+	improveBase := flag.String("improve-baseline", "", "baseline -expect-improve measures against (default: the -baseline file); point it at a frozen pre-optimisation snapshot to assert a speedup that outlives baseline rewrites")
 	flag.Parse()
 
+	expectations, err := parseExpectations(*expectImprove)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
 	experiments.Workers = 1
+
+	// Load the baseline up front (unless this run rewrites it) so each
+	// measurement prints its percentage delta as it lands.
+	var baseline report
+	if !*write {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v (run with -write to create the baseline)\n", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *baselinePath, err)
+			os.Exit(1)
+		}
+	}
 
 	got := make(report, len(benchmarks))
 	for _, b := range benchmarks {
 		r := measure(b.run, *count)
 		got[b.name] = r
-		fmt.Printf("%-20s %12.0f ns/op %10.0f allocs/op\n", b.name, r.NsPerOp, r.AllocsPerOp)
+		fmt.Printf("%-20s %12.0f ns/op %10.0f allocs/op", b.name, r.NsPerOp, r.AllocsPerOp)
+		if base, ok := baseline[b.name]; ok && base.NsPerOp > 0 {
+			fmt.Printf("  %+7.1f%% ns/op %+7.1f%% allocs/op vs baseline",
+				pctDelta(r.NsPerOp, base.NsPerOp), pctDelta(r.AllocsPerOp, base.AllocsPerOp))
+		}
+		fmt.Println()
 	}
 	if err := writeJSON(*out, got); err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
@@ -178,17 +296,22 @@ func main() {
 		return
 	}
 
-	data, err := os.ReadFile(*baselinePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v (run with -write to create the baseline)\n", err)
-		os.Exit(1)
-	}
-	var baseline report
-	if err := json.Unmarshal(data, &baseline); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *baselinePath, err)
-		os.Exit(1)
+	improveAgainst := baseline
+	if *improveBase != "" {
+		data, err := os.ReadFile(*improveBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		var frozen report
+		if err := json.Unmarshal(data, &frozen); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *improveBase, err)
+			os.Exit(1)
+		}
+		improveAgainst = frozen
 	}
 	violations := compare(got, baseline, *tolNS, *tolAllocs)
+	violations = append(violations, checkImprovements(got, improveAgainst, expectations)...)
 	for _, v := range violations {
 		fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s\n", v)
 	}
@@ -197,4 +320,7 @@ func main() {
 	}
 	fmt.Printf("benchgate: %d benchmarks within tolerance of %s (ns/op ×%.2f, allocs/op ×%.2f)\n",
 		len(baseline), *baselinePath, *tolNS, *tolAllocs)
+	if len(expectations) > 0 {
+		fmt.Printf("benchgate: %d expected improvements held\n", len(expectations))
+	}
 }

@@ -54,3 +54,56 @@ func TestCompareNewBenchmarkNotGated(t *testing.T) {
 		t.Fatalf("unexpected violations: %v", v)
 	}
 }
+
+func TestParseExpectations(t *testing.T) {
+	exp, err := parseExpectations("E14Capture100G:1.2, MonMerge8Q:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp) != 2 || exp["E14Capture100G"] != 1.2 || exp["MonMerge8Q"] != 2 {
+		t.Fatalf("exp = %v", exp)
+	}
+	if exp, err := parseExpectations(""); err != nil || len(exp) != 0 {
+		t.Fatalf("empty spec: exp = %v, err = %v", exp, err)
+	}
+	for _, bad := range []string{"E14", "E14:", "E14:0.5", ":1.2", "E14:abc"} {
+		if _, err := parseExpectations(bad); err == nil {
+			t.Errorf("parseExpectations(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckImprovementsHolds(t *testing.T) {
+	base := report{"E14": {NsPerOp: 1200}}
+	got := report{"E14": {NsPerOp: 900}} // 1.33× faster
+	if v := checkImprovements(got, base, map[string]float64{"E14": 1.2}); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestCheckImprovementsFlagsShortfall(t *testing.T) {
+	base := report{"E14": {NsPerOp: 1200}}
+	got := report{"E14": {NsPerOp: 1100}} // only 1.09× faster
+	v := checkImprovements(got, base, map[string]float64{"E14": 1.2})
+	if len(v) != 1 || v[0].metric != "improve" {
+		t.Fatalf("violations = %v, want one improve shortfall", v)
+	}
+}
+
+func TestCheckImprovementsFlagsMissingName(t *testing.T) {
+	base := report{"E14": {NsPerOp: 1200}}
+	got := report{"E14": {NsPerOp: 100}}
+	v := checkImprovements(got, base, map[string]float64{"E99": 1.2})
+	if len(v) != 1 || v[0].metric != "improve-presence" {
+		t.Fatalf("violations = %v, want one improve-presence failure", v)
+	}
+}
+
+func TestPctDelta(t *testing.T) {
+	if d := pctDelta(900, 1200); d != -25 {
+		t.Fatalf("pctDelta(900, 1200) = %v, want -25", d)
+	}
+	if d := pctDelta(5, 0); d != 0 {
+		t.Fatalf("pctDelta(5, 0) = %v, want 0", d)
+	}
+}

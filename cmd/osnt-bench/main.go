@@ -2,11 +2,12 @@
 // table from DESIGN.md (E1–E8, plus the scaling sweeps E9 multi-port,
 // E10 tester mesh, E11 40G ports, E12 mixed-rate fan-in, E13 multi-DUT
 // chain, E14 100G multi-queue capture, E15 oversubscribed ECMP fabric,
-// E16 per-hop loss attribution and E17 per-flow analytics over merged
-// multi-queue capture) printed to stdout. Use -e to
-// select a single experiment and
+// E16 per-hop loss attribution, E17 per-flow analytics over merged
+// multi-queue capture and E18 frame-train coalescing) printed to stdout.
+// Use -e to select a single experiment,
 // -workers to bound sweep parallelism (tables are byte-identical at any
-// worker count).
+// worker count) and -train to override the frame-train cap of the
+// batching experiments (0 keeps each experiment's own setting).
 //
 // Usage:
 //
@@ -50,6 +51,7 @@ var runners = []struct {
 	{"e15", "oversubscribed fabric: 4×40G leaves ECMP-sprayed over 2×40G uplinks", func() *stats.Table { return experiments.E15Oversubscribed(0) }},
 	{"e16", "per-hop loss attribution through a 4-deep converting chain", func() *stats.Table { return experiments.E16LossAttribution(0) }},
 	{"e17", "per-flow analytics over merged multi-queue capture: elephants and mice through a lossy DUT", func() *stats.Table { return experiments.E17FlowAnalytics(0) }},
+	{"e18", "frame-train coalescing at 100G: events per frame vs train cap, bit-exact across caps", func() *stats.Table { return experiments.E18TrainSpeedup(0) }},
 }
 
 func validIDs() string {
@@ -64,10 +66,12 @@ func main() {
 	sel := flag.String("e", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	train := flag.Int("train", 0, "frame-train cap override for the batching experiments (0 = per-experiment default, 1 = per-frame path)")
 	losses := flag.Bool("losses", false, "print the per-hop/per-reason loss table of the canonical oversubscribed fabric (E15 at 100% load) and exit")
 	writeExp := flag.String("write-experiments", "", "regenerate the generated tables section of the given markdown file (\"\" = off; CI uses EXPERIMENTS.md)")
 	flag.Parse()
 	experiments.Workers = *workers
+	experiments.TrainCap = *train
 
 	if *list {
 		for _, r := range runners {

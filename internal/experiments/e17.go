@@ -264,10 +264,12 @@ func MergeMicroBench(duration sim.Duration) uint64 {
 	})
 	merge := mon.NewMerge(m, func(mon.Record) {})
 	g, err := gen.New(t.Port("osnt:0"), gen.Config{
-		Source:  &gen.UDPFlowSource{Spec: probeSpec, NumFlows: e14Flows, FrameSize: 64},
-		Spacing: gen.CBRForLoad(64, wire.Rate10G, 1.0),
-		Pool:    wire.DefaultPool,
-		Seed:    runner.PointSeed(0xe17, 0x5eed),
+		Source:   &gen.UDPFlowSource{Spec: probeSpec, NumFlows: e14Flows, FrameSize: 64},
+		Spacing:  gen.CBRForLoad(64, wire.Rate10G, 1.0),
+		Pool:     wire.DefaultPool,
+		Seed:     runner.PointSeed(0xe17, 0x5eed),
+		MaxTrain: trainCap(64),
+		Until:    sim.Time(duration),
 	})
 	if err != nil {
 		panic(err)

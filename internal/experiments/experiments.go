@@ -44,6 +44,24 @@ var FrameSizes = []int{64, 128, 256, 512, 1024, 1280, 1518}
 // canonical order, so tables are byte-identical at any setting.
 var Workers int
 
+// TrainCap, when non-zero, overrides the generator frame-train cap of
+// the experiments that batch (E14 and the steering/merge micro-
+// benchmarks): 1 forces the per-frame reference path, higher values
+// deepen the coalescing. Tables are byte-identical at any setting —
+// trains only coalesce simulator bookkeeping, never frame timing — so
+// the override exists to measure host-side cost, not to change results.
+// E18 sweeps caps explicitly and ignores it.
+var TrainCap int
+
+// trainCap returns the effective frame-train cap: the TrainCap override
+// if set, else the experiment's own default.
+func trainCap(def int) int {
+	if TrainCap > 0 {
+		return TrainCap
+	}
+	return def
+}
+
 func sweeper() *runner.Runner { return runner.New(Workers) }
 
 // osntPorts and sinkNames are preformatted topology references: tight
@@ -494,5 +512,6 @@ func All() []*stats.Table {
 		E15Oversubscribed(0),
 		E16LossAttribution(0),
 		E17FlowAnalytics(0),
+		E18TrainSpeedup(0),
 	}
 }

@@ -8,11 +8,11 @@ import "testing"
 // cmd/osnt-bench and EXPERIMENTS.md rely on.
 func TestAllTablesWellFormed(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs the full E1–E17 evaluation")
+		t.Skip("runs the full E1–E18 evaluation")
 	}
 	tables := All()
-	if len(tables) != 17 {
-		t.Fatalf("All() returned %d tables, want 17 (E1–E17)", len(tables))
+	if len(tables) != 18 {
+		t.Fatalf("All() returned %d tables, want 18 (E1–E18)", len(tables))
 	}
 	for i, tbl := range tables {
 		if tbl.Title == "" {

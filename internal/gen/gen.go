@@ -7,7 +7,9 @@
 package gen
 
 import (
+	"bytes"
 	"fmt"
+	"math"
 
 	"osnt/internal/netfpga"
 	"osnt/internal/packet"
@@ -310,6 +312,23 @@ type Config struct {
 	// them back. Works best with a Source implementing PooledSource
 	// (plain Sources still allocate inside Next).
 	Pool *wire.Pool
+
+	// MaxTrain caps how many consecutive frames the generator coalesces
+	// into one wire.Train (default/1 = the per-frame path). Frames join a
+	// train only while they abut exactly on the wire — the next departure
+	// instant equals the previous frame's serialization end — so anything
+	// a train carries is bit-for-bit the traffic the per-frame path would
+	// have produced, delivered in a fraction of the engine events.
+	// Coalescing needs a Pool plus a PooledSource and an idle MAC at the
+	// emit instant; otherwise emission falls back per frame.
+	MaxTrain int
+	// Until is the emission deadline in virtual time (0 = none): no frame
+	// departs after it, and the generator finishes at the first emission
+	// instant past it. Callers that bound a run with Engine.RunUntil(D) +
+	// Stop must set Until to D when MaxTrain > 1 — train formation looks
+	// ahead of the current instant, and the deadline is what keeps it
+	// from emitting frames the per-frame path would never have reached.
+	Until sim.Time
 }
 
 // Generator drives one card port. It owns the port's OnTransmit hook
@@ -378,6 +397,14 @@ func (g *Generator) emit() {
 	if !g.running {
 		return
 	}
+	if until := g.cfg.Until; until != 0 && g.port.Card().Engine.Now() > until {
+		g.finish()
+		return
+	}
+	if g.cfg.MaxTrain > 1 && g.pooled != nil && g.port.TxIdle() {
+		g.emitTrain()
+		return
+	}
 	if g.cfg.Count > 0 && g.sent.Packets+g.dropped >= g.cfg.Count {
 		g.finish()
 		return
@@ -411,6 +438,84 @@ func (g *Generator) emit() {
 	// emit is the callback of g.next itself, which has just fired:
 	// re-arming it reuses the one Event for the generator's lifetime.
 	g.port.Card().Engine.RescheduleAfter(g.next, gap)
+}
+
+// emitTrain coalesces the longest run of frames that depart back to back
+// from the current instant — bounded by MaxTrain, the Until deadline,
+// the Count budget and the first non-abutting gap — and hands it to the
+// MAC as one wire.Train. The consumption order of source frames and
+// spacing draws is exactly the per-frame path's (frame, then its gap),
+// so a run formed here is bit- and time-identical to what N per-frame
+// emissions would have produced; only the event count differs.
+func (g *Generator) emitTrain() {
+	e := g.port.Card().Engine
+	until := g.cfg.Until
+	if until == 0 {
+		until = sim.Time(math.MaxInt64)
+	}
+	rate := g.port.Link().Rate
+	pool := g.cfg.Pool
+	tr := pool.GetTrain()
+	limit := g.cfg.MaxTrain
+	t := e.Now()    // departure instant of the frame being pulled
+	trainEnd := t   // serialization end of the run so far
+	uniform := true // all frames byte-identical so far
+	for {
+		if g.cfg.Count > 0 && g.sent.Packets+g.dropped+uint64(len(tr.Frames)) >= g.cfg.Count {
+			break
+		}
+		f := pool.Get(0)
+		if !g.pooled.NextInto(f) {
+			f.Release()
+			break
+		}
+		if uniform && len(tr.Frames) > 0 {
+			first := tr.Frames[0]
+			uniform = f.Size == first.Size && bytes.Equal(f.Data, first.Data)
+		}
+		tr.Frames = append(tr.Frames, f)
+		trainEnd = t.Add(wire.SerializationTime(f.Size, rate))
+		gap := g.cfg.Spacing.Next(g.rand)
+		if gap < 0 {
+			gap = 0
+		}
+		t = t.Add(gap)
+		if len(tr.Frames) >= limit || t != trainEnd || t > until {
+			break
+		}
+	}
+	if len(tr.Frames) == 0 {
+		// Count exhausted or source dry before the first frame: the
+		// per-frame path would finish at this instant too.
+		tr.Recycle()
+		g.finish()
+		return
+	}
+	if len(tr.Frames) == 1 {
+		f := tr.Frames[0]
+		tr.Frames[0] = nil
+		tr.Frames = tr.Frames[:0]
+		tr.Recycle()
+		size := f.Size
+		if g.port.Enqueue(f) {
+			g.sent.Add(wire.WireBytes(size))
+		} else {
+			g.dropped++
+			f.Release()
+		}
+	} else {
+		// Timestamp embedding mutates each frame at MAC latch time, so an
+		// OnTransmit hook voids byte-uniformity even for a one-flow run.
+		tr.Uniform = uniform && g.port.OnTransmit == nil
+		for _, f := range tr.Frames {
+			g.sent.Add(wire.WireBytes(f.Size))
+		}
+		g.port.EnqueueTrain(tr)
+	}
+	// t is the departure instant of the first frame NOT in this run: the
+	// next emission event, which finishes the generator if it lies past
+	// the Until deadline.
+	e.Reschedule(g.next, t)
 }
 
 func (g *Generator) finish() {

@@ -171,6 +171,63 @@ func TestOFSwitchDataplaneZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestTrainPathZeroAlloc pins the frame-train tentpole: the coalesced
+// hot path — gen emitting 64-frame trains at 100G line rate, one train
+// event through the link, one bulk admission into an idealised capture
+// queue — must stay at 0.0 allocations per packet once warmed, and must
+// actually be coalescing: far fewer than one engine event per packet.
+func TestTrainPathZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("sync.Pool drops Puts under -race; strict alloc bound only holds in normal builds")
+	}
+	pool := wire.NewPool()
+	e := sim.NewEngine()
+	card := netfpga.New(e, netfpga.Config{Ports: 2, Rate: wire.Rate100G})
+	card.Port(0).SetLink(wire.NewLink(e, wire.Rate100G, 0, card.Port(1)))
+	m := mon.Attach(card.Port(1), mon.Config{
+		SnapLen: 64,
+		Queues: []mon.QueueConfig{{
+			RingSize:      1 << 16,
+			HostPerPacket: sim.Picosecond,
+			HostPerByte:   -1,
+		}}, // idealised drain, nil sink → buffers recycle
+	})
+	g, err := gen.New(card.Port(0), gen.Config{
+		Source:   &gen.UDPFlowSource{Spec: spec, FrameSize: 64},
+		Spacing:  gen.CBRForLoad(64, wire.Rate100G, 1.0),
+		Pool:     pool,
+		MaxTrain: 64,
+		Until:    sim.Time(sim.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(0)
+
+	e.RunFor(200 * sim.Microsecond) // warm-up
+
+	const span = sim.Millisecond
+	interval := gen.CBRForLoad(64, wire.Rate100G, 1.0).Interval
+	pktPerSpan := float64(span) / float64(interval) // ≈ 148810
+	firedBefore, sentBefore := e.Fired(), g.Sent().Packets
+	avg := testing.AllocsPerRun(5, func() {
+		e.RunFor(span)
+	})
+	perPacket := avg / pktPerSpan
+	t.Logf("allocs: %.1f per %0.f-packet span = %.4f/packet", avg, pktPerSpan, perPacket)
+	if perPacket > 0.001 {
+		t.Errorf("train path allocates %.4f/packet, want 0.0 (coalesced path rotted?)", perPacket)
+	}
+	evPerPkt := float64(e.Fired()-firedBefore) / float64(g.Sent().Packets-sentBefore)
+	t.Logf("events: %.3f/packet", evPerPkt)
+	if evPerPkt > 1 {
+		t.Errorf("train path fired %.3f events/packet, want ≪1 — trains are not forming", evPerPkt)
+	}
+	if m.Seen().Packets == 0 {
+		t.Fatal("monitor saw no packets — rig is miswired")
+	}
+}
+
 // TestUnpooledPathStillWorks locks the fallback: without a Pool the same
 // rig runs correctly (allocating per packet), so pooling stays an
 // optimisation, not a requirement.

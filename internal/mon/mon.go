@@ -215,6 +215,14 @@ type queue struct {
 	head     int
 	draining bool
 	drainEv  *sim.Event // reusable: at most one DMA completion in flight
+	// nextFinish is the instant the in-flight DMA completes (valid while
+	// draining). The train admission path runs ahead of the engine clock
+	// and uses it to apply completions virtually, between two frame
+	// arrivals, without firing the event.
+	nextFinish sim.Time
+	// touched marks the queue as dirty inside one train admission, so the
+	// fixup pass re-arms each queue's real drain event exactly once.
+	touched bool
 
 	// bufFree recycles record buffers when the queue's recycle flag
 	// allows it; bounded by the ring capacity.
@@ -253,6 +261,9 @@ type Monitor struct {
 
 	queues []queue
 	rr     int // round-robin cursor
+	// scratch collects the queues one train touched (reused across
+	// trains, so the batched path allocates nothing).
+	scratch []*queue
 
 	seen     stats.Counter // all frames presented to the pipeline
 	accepted stats.Counter // past the filter stage
@@ -351,6 +362,7 @@ func New(port *netfpga.Port, cfg Config) (*Monitor, error) {
 	}
 
 	port.OnReceive = m.onReceive
+	port.OnReceiveTrain = m.onReceiveTrain
 	return m, nil
 }
 
@@ -426,6 +438,176 @@ func (m *Monitor) onReceive(f *wire.Frame, at sim.Time, ts timing.Timestamp) {
 	q.drain()
 }
 
+// onReceiveTrain is the batched admission path: the port hands a whole
+// back-to-back run to the monitor in one delivery event. The engine
+// clock sits at the first frame's last-bit arrival; every later frame's
+// arrival instant is recovered arithmetically at the train's wire rate,
+// its MAC timestamp is latched at that instant (in arrival order, so
+// stateful clocks step exactly as under per-frame delivery), and any DMA
+// completions that would have fired between two arrivals are applied
+// virtually with their exact completion instants. Counters, drop
+// decisions and record contents are bitwise identical to N per-frame
+// events; only the event count changes.
+//
+// Uniform trains (byte-identical frames) additionally hoist the per-flow
+// work — filter verdict, effective snap length, digest, and (for
+// non-round-robin policies) the steering decision — out of the per-frame
+// loop: one classification covers the run.
+func (m *Monitor) onReceiveTrain(t *wire.Train, at sim.Time) {
+	clock := m.port.Card().Clock
+	touched := m.scratch[:0]
+
+	hoist := t.Uniform
+	hoisted := false
+	var (
+		hDrop bool
+		hRule int
+		hLen  int // effective post-thinning capture length
+		hHash uint64
+		hQ    *queue // hoisted steer result; nil when per-frame steering is needed
+	)
+
+	lb := at
+	for i, f := range t.Frames {
+		if i > 0 {
+			lb = lb.Add(wire.SerializationTime(f.Size, t.Rate))
+		}
+		ts := clock.Now(lb)
+		wb := wire.WireBytes(f.Size)
+		m.seen.Add(wb)
+		if ts > m.maxTS {
+			m.maxTS = ts
+		}
+
+		var (
+			data    []byte
+			ruleIdx int
+			hash    uint64
+		)
+		if hoisted {
+			if hDrop {
+				m.filtered++
+				m.ledger.Report(m.hop, wire.DropFilterReject, 1)
+				continue
+			}
+			data, ruleIdx, hash = f.Data[:hLen], hRule, hHash
+		} else {
+			// Full classification, mirroring onReceive stage for stage.
+			data = f.Data
+			snap := m.cfg.SnapLen
+			ruleIdx = -1
+			if m.cfg.ThinBeforeFilter && snap > 0 && len(data) > snap {
+				data = data[:snap]
+			}
+			drop := false
+			if m.cfg.Filters != nil {
+				act, idx, ruleSnap := m.cfg.Filters.Match(data)
+				ruleIdx = idx
+				if act == filter.Drop {
+					drop = true
+				} else if ruleSnap > 0 {
+					snap = ruleSnap
+				}
+			}
+			if !drop {
+				if !m.cfg.ThinBeforeFilter && snap > 0 && len(data) > snap {
+					data = data[:snap]
+				}
+				if m.cfg.HashBytes > 0 {
+					hash = packet.PacketDigest(data, m.cfg.HashBytes)
+				}
+			}
+			if hoist {
+				hoisted = true
+				hDrop, hRule, hLen, hHash = drop, ruleIdx, len(data), hash
+			}
+			if drop {
+				m.filtered++
+				m.ledger.Report(m.hop, wire.DropFilterReject, 1)
+				continue
+			}
+		}
+
+		m.accepted.Add(wb)
+		var q *queue
+		if hQ != nil {
+			q = hQ
+		} else {
+			q = m.steer(data, ruleIdx, hash)
+			if hoisted && m.cfg.Steer != SteerRoundRobin {
+				// Pins and hash steering are pure functions of the (hoisted)
+				// classification, so the whole run lands on one queue; only
+				// round-robin advances per frame.
+				hQ = q
+			}
+		}
+		q.seen.Add(wb)
+
+		q.advanceTo(lb)
+
+		if len(q.ring)-q.head >= q.ringSize {
+			q.ringDrops++
+			m.ledger.Report(m.hop, wire.DropRingFull, 1)
+			continue
+		}
+		q.accepted.Add(wb)
+		cp := q.getBuf(len(data))
+		copy(cp, data)
+		q.ring = append(q.ring, Record{
+			Data: cp, WireSize: f.Size, TS: ts, Arrival: lb,
+			Port: m.port.Index(), Queue: q.idx, Rule: ruleIdx, Hash: hash,
+			Seq: q.seq, Trace: f.Trace,
+		})
+		q.seq++
+		if !q.draining {
+			// The host core was idle when this record landed: the DMA
+			// starts at the (virtual) arrival instant, exactly as drain()
+			// would have at a real per-frame event.
+			q.draining = true
+			q.nextFinish = lb.Add(q.perPacket + sim.Duration(len(cp))*q.perByte)
+		}
+		if !q.touched {
+			q.touched = true
+			touched = append(touched, q)
+		}
+	}
+
+	// Fix up the real DMA completion event for every queue the train
+	// touched: still draining → one event at the virtual horizon; gone
+	// idle → any pending event is stale and cancels.
+	for _, q := range touched {
+		q.touched = false
+		if q.draining {
+			if q.drainEv == nil {
+				q.drainEv = m.eng.Schedule(q.nextFinish, q.drainDone)
+			} else {
+				m.eng.Reprogram(q.drainEv, q.nextFinish)
+			}
+		} else if q.drainEv != nil && q.drainEv.Pending() {
+			q.drainEv.Cancel()
+		}
+	}
+	m.scratch = touched[:0]
+}
+
+// advanceTo applies, virtually, every DMA completion that would have
+// fired up to instant t. The train admission loop runs ahead of the
+// engine clock, so completions falling between two frame arrivals are
+// delivered here carrying their exact completion instants. A completion
+// landing exactly on an arrival delivers first, matching the per-frame
+// event order (the completion event was scheduled earlier, so it holds
+// the smaller sequence number).
+func (q *queue) advanceTo(t sim.Time) {
+	for q.draining && q.nextFinish <= t {
+		q.deliverHead(q.nextFinish)
+		if len(q.ring) == q.head {
+			q.draining = false
+			break
+		}
+		q.nextFinish = q.nextFinish.Add(q.perPacket + sim.Duration(len(q.ring[q.head].Data))*q.perByte)
+	}
+}
+
 // steer picks the capture queue for one accepted packet: rule pins win,
 // then the configured policy. Single-queue monitors skip the stage
 // entirely, so the shorthand path computes nothing the old API did not.
@@ -482,16 +664,21 @@ func (q *queue) drain() {
 	}
 	q.draining = true
 	cost := q.perPacket + sim.Duration(len(q.ring[q.head].Data))*q.perByte
+	q.nextFinish = q.m.eng.Now().Add(cost)
 	if q.drainEv == nil {
-		q.drainEv = q.m.eng.ScheduleAfter(cost, q.drainDone)
+		q.drainEv = q.m.eng.Schedule(q.nextFinish, q.drainDone)
 	} else {
-		q.m.eng.RescheduleAfter(q.drainEv, cost)
+		// Reprogram rather than Reschedule: a train admission may have
+		// left the event cancelled-but-queued, and Reprogram re-keys that
+		// in place.
+		q.m.eng.Reprogram(q.drainEv, q.nextFinish)
 	}
 }
 
-// drainDone is the DMA-completion handler for the record at the ring
-// head.
-func (q *queue) drainDone() {
+// deliverHead completes the in-flight DMA for the record at the ring
+// head, stamping the given completion instant. Shared by the real
+// completion event and the train path's virtual advance.
+func (q *queue) deliverHead(doneAt sim.Time) {
 	rec := q.ring[q.head]
 	q.ring[q.head] = Record{}
 	q.head++
@@ -505,7 +692,7 @@ func (q *queue) drainDone() {
 		q.ring = q.ring[:n]
 		q.head = 0
 	}
-	rec.Delivered = q.m.eng.Now()
+	rec.Delivered = doneAt
 	q.delivered.Add(rec.WireSize)
 	if q.sink != nil {
 		q.sink(rec)
@@ -513,6 +700,12 @@ func (q *queue) drainDone() {
 	if q.recycle {
 		q.bufFree = append(q.bufFree, rec.Data[:0])
 	}
+}
+
+// drainDone is the DMA-completion handler for the record at the ring
+// head.
+func (q *queue) drainDone() {
+	q.deliverHead(q.m.eng.Now())
 	q.draining = false
 	q.drain()
 }

@@ -80,13 +80,14 @@ func New(e *sim.Engine, cfg Config) *Card {
 	c := &Card{Engine: e, Clock: cfg.Clock, Regs: NewRegisters(), cfg: cfg}
 	for i := 0; i < cfg.Ports; i++ {
 		p := &Port{card: c, index: i}
-		// Register names are formatted once here: the TX/RX paths bump
-		// these counters per packet and must not pay fmt.Sprintf there.
-		p.regTxPackets = p.regName("tx_packets")
-		p.regTxBytes = p.regName("tx_bytes")
-		p.regTxDrops = p.regName("tx_drops")
-		p.regRxPackets = p.regName("rx_packets")
-		p.regRxBytes = p.regName("rx_bytes")
+		// Register indices are resolved once here: the TX/RX paths bump
+		// these counters per packet and must pay neither a fmt.Sprintf
+		// nor a map probe there.
+		p.regTxPackets = c.Regs.Index(p.regName("tx_packets"))
+		p.regTxBytes = c.Regs.Index(p.regName("tx_bytes"))
+		p.regTxDrops = c.Regs.Index(p.regName("tx_drops"))
+		p.regRxPackets = c.Regs.Index(p.regName("rx_packets"))
+		p.regRxBytes = c.Regs.Index(p.regName("rx_bytes"))
 		c.ports = append(c.ports, p)
 	}
 	c.Regs.Set("device.id", 0x05170)
@@ -125,6 +126,13 @@ type Port struct {
 	// OnReceive fires for every frame whose last bit has arrived, with
 	// the MAC-latched receive timestamp.
 	OnReceive func(f *wire.Frame, at sim.Time, ts timing.Timestamp)
+	// OnReceiveTrain, when set, takes whole frame trains in one callback
+	// (at is the first frame's last-bit arrival; later boundaries follow
+	// arithmetically at t.Rate). The consumer latches per-frame
+	// timestamps itself via Card().Clock, in arrival order — the port
+	// does not pre-latch, so stateful clocks still step exactly once per
+	// frame. When nil, trains unbundle into per-frame OnReceive calls.
+	OnReceiveTrain func(t *wire.Train, at sim.Time)
 
 	txStats stats.Counter
 	rxStats stats.Counter
@@ -134,10 +142,10 @@ type Port struct {
 	// is in flight per port, so one Event serves every frame.
 	txDoneEv *sim.Event
 
-	// Precomputed register names (see New) keep the per-packet counter
-	// updates allocation-free.
-	regTxPackets, regTxBytes, regTxDrops string
-	regRxPackets, regRxBytes             string
+	// Pre-resolved register indices (see New) keep the per-packet counter
+	// updates allocation-free and map-free.
+	regTxPackets, regTxBytes, regTxDrops int
+	regRxPackets, regRxBytes             int
 }
 
 // Index returns the port number on the card.
@@ -161,13 +169,59 @@ func (p *Port) Enqueue(f *wire.Frame) bool {
 	}
 	if p.txq.Len() >= p.card.cfg.TxQueueCap {
 		p.txDrops++
-		p.card.Regs.Add(p.regTxDrops, 1)
+		p.card.Regs.AddAt(p.regTxDrops, 1)
 		p.card.ledger.Report(p.card.dropHop, wire.DropTxOverflow, 1)
 		return false
 	}
 	p.txq.Push(f)
 	p.trySend()
 	return true
+}
+
+// TxIdle reports whether the MAC is between transmissions with an empty
+// TX queue — the precondition for handing it a coalesced frame train.
+// It holds at every emission instant as long as offered load stays at or
+// below line rate.
+func (p *Port) TxIdle() bool { return !p.txBusy && p.txq.Len() == 0 }
+
+// EnqueueTrain transmits a whole back-to-back run in one MAC pass: one
+// transmit event, one register/stat update batch, per-frame OnTransmit
+// hooks at each frame's exact latch instant. The caller must have
+// checked TxIdle — coalescing a run through a busy MAC would reorder it
+// against queued frames, so that is a contract violation, not a
+// recoverable condition.
+func (p *Port) EnqueueTrain(t *wire.Train) {
+	if p.txLink == nil {
+		panic(fmt.Sprintf("netfpga: port %d transmit with no link attached", p.index))
+	}
+	if !p.TxIdle() {
+		panic(fmt.Sprintf("netfpga: port %d EnqueueTrain on a busy MAC", p.index))
+	}
+	e := p.card.Engine
+	rate := p.txLink.Rate
+	start := e.Now()
+	var sizes uint64
+	for _, f := range t.Frames {
+		// Latch instant and timestamp per frame, exactly as N trySend
+		// passes would have produced them: frame k is latched the moment
+		// frame k-1's last bit leaves.
+		ts := p.card.Clock.Now(start)
+		if p.OnTransmit != nil {
+			p.OnTransmit(f, start, ts)
+		}
+		p.txStats.Add(wire.WireBytes(f.Size))
+		sizes += uint64(f.Size)
+		start = start.Add(wire.SerializationTime(f.Size, rate))
+	}
+	p.card.Regs.AddAt(p.regTxPackets, uint64(len(t.Frames)))
+	p.card.Regs.AddAt(p.regTxBytes, sizes)
+	end := p.txLink.TransmitTrain(t, e.Now())
+	p.txBusy = true
+	if p.txDoneEv == nil {
+		p.txDoneEv = e.Schedule(end, p.txDone)
+	} else {
+		e.Reschedule(p.txDoneEv, end)
+	}
 }
 
 func (p *Port) trySend() {
@@ -184,8 +238,8 @@ func (p *Port) trySend() {
 	p.txBusy = true
 	end := p.txLink.Transmit(f)
 	p.txStats.Add(wire.WireBytes(f.Size))
-	p.card.Regs.Add(p.regTxPackets, 1)
-	p.card.Regs.Add(p.regTxBytes, uint64(f.Size))
+	p.card.Regs.AddAt(p.regTxPackets, 1)
+	p.card.Regs.AddAt(p.regTxBytes, uint64(f.Size))
 	if p.txDoneEv == nil {
 		p.txDoneEv = p.card.Engine.Schedule(end, p.txDone)
 	} else {
@@ -206,12 +260,49 @@ func (p *Port) txDone() {
 func (p *Port) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
 	ts := p.card.Clock.Now(at)
 	p.rxStats.Add(wire.WireBytes(f.Size))
-	p.card.Regs.Add(p.regRxPackets, 1)
-	p.card.Regs.Add(p.regRxBytes, uint64(f.Size))
+	p.card.Regs.AddAt(p.regRxPackets, 1)
+	p.card.Regs.AddAt(p.regRxBytes, uint64(f.Size))
 	if p.OnReceive != nil {
 		p.OnReceive(f, at, ts)
 	}
 	f.Release()
+}
+
+// ReceiveTrain implements wire.TrainEndpoint: one delivery event covers
+// the whole back-to-back run. Register and stat counters update in bulk;
+// timestamp latching stays strictly per frame in arrival order — by the
+// consumer when an OnReceiveTrain hook is attached, or by the unbundling
+// loop below — so a stateful clock observes exactly the per-frame
+// sequence of latch calls.
+func (p *Port) ReceiveTrain(t *wire.Train, start, at sim.Time) {
+	var sizes uint64
+	for _, f := range t.Frames {
+		p.rxStats.Add(wire.WireBytes(f.Size))
+		sizes += uint64(f.Size)
+	}
+	p.card.Regs.AddAt(p.regRxPackets, uint64(len(t.Frames)))
+	p.card.Regs.AddAt(p.regRxBytes, sizes)
+	if p.OnReceiveTrain != nil {
+		p.OnReceiveTrain(t, at)
+		t.Release()
+		return
+	}
+	// Unbundle: recover each frame's last-bit instant arithmetically and
+	// replay the per-frame receive path.
+	lb := at
+	for i, f := range t.Frames {
+		t.Frames[i] = nil
+		ts := p.card.Clock.Now(lb)
+		if p.OnReceive != nil {
+			p.OnReceive(f, lb, ts)
+		}
+		if i+1 < len(t.Frames) {
+			lb = lb.Add(wire.SerializationTime(t.Frames[i+1].Size, t.Rate))
+		}
+		f.Release()
+	}
+	t.Frames = t.Frames[:0]
+	t.Recycle()
 }
 
 // TxStats returns cumulative transmit counters (wire bytes).
@@ -233,33 +324,53 @@ func (p *Port) regName(suffix string) string {
 // Registers is the card's host-visible register file. Real OSNT exposes
 // statistics and configuration through memory-mapped registers; the
 // simulated card keeps the same observable surface so host tools read
-// stats the way a driver would.
+// stats the way a driver would. Values live in a flat array addressed by
+// a stable per-name index — the driver-style split between the one-time
+// address lookup and the per-packet counter bump, so hot paths that
+// resolve Index once pay an array add per packet instead of a map probe.
 type Registers struct {
-	m     map[string]uint64
+	idx   map[string]int
+	vals  []uint64
 	order []string
 }
 
 // NewRegisters returns an empty register file.
-func NewRegisters() *Registers { return &Registers{m: make(map[string]uint64)} }
+func NewRegisters() *Registers { return &Registers{idx: make(map[string]int)} }
+
+// Index resolves a register name to its stable array index, creating the
+// register at zero if needed. Resolve once, then use AddAt/GetAt on the
+// per-packet path.
+func (r *Registers) Index(name string) int {
+	i, ok := r.idx[name]
+	if !ok {
+		i = len(r.vals)
+		r.idx[name] = i
+		r.vals = append(r.vals, 0)
+		r.order = append(r.order, name)
+	}
+	return i
+}
 
 // Set stores a register value, creating the register if needed.
-func (r *Registers) Set(name string, v uint64) {
-	if _, ok := r.m[name]; !ok {
-		r.order = append(r.order, name)
-	}
-	r.m[name] = v
-}
+func (r *Registers) Set(name string, v uint64) { r.vals[r.Index(name)] = v }
 
 // Add increments a register, creating it at zero if needed.
-func (r *Registers) Add(name string, delta uint64) {
-	if _, ok := r.m[name]; !ok {
-		r.order = append(r.order, name)
-	}
-	r.m[name] += delta
-}
+func (r *Registers) Add(name string, delta uint64) { r.vals[r.Index(name)] += delta }
+
+// AddAt increments the register at a previously resolved index.
+func (r *Registers) AddAt(i int, delta uint64) { r.vals[i] += delta }
 
 // Get reads a register; absent registers read zero, as on hardware.
-func (r *Registers) Get(name string) uint64 { return r.m[name] }
+func (r *Registers) Get(name string) uint64 {
+	i, ok := r.idx[name]
+	if !ok {
+		return 0
+	}
+	return r.vals[i]
+}
+
+// GetAt reads the register at a previously resolved index.
+func (r *Registers) GetAt(i int) uint64 { return r.vals[i] }
 
 // Names returns the registers in creation order.
 func (r *Registers) Names() []string { return append([]string(nil), r.order...) }

@@ -355,6 +355,92 @@ func (p *Port) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
 	s.applyActions(entry.Actions, f, p, ready)
 }
 
+// ReceiveTrain implements wire.TrainEndpoint: a uniform run whose flow
+// hits the table with a single concrete output and an idle egress port
+// crosses the dataplane as one lookup, one bulk counter update, and one
+// back-to-back transmission. Everything else — misses, floods, rewrites,
+// CPU-taxed dataplanes, busy egress — unbundles into per-frame Receive
+// calls with each frame's exact arrival instants.
+func (p *Port) ReceiveTrain(t *wire.Train, start, at sim.Time) {
+	if p.sw.receiveTrainFast(p, t, at) {
+		return
+	}
+	fb, lb := start, at
+	for i, f := range t.Frames {
+		t.Frames[i] = nil
+		p.Receive(f, fb, lb)
+		if i+1 < len(t.Frames) {
+			fb = lb
+			lb = fb.Add(wire.SerializationTime(t.Frames[i+1].Size, t.Rate))
+		}
+	}
+	t.Frames = t.Frames[:0]
+	t.Recycle()
+}
+
+// receiveTrainFast attempts the coalesced dataplane pass, reporting
+// whether it consumed the train. The guards guarantee per-frame
+// equivalence: byte-identical frames share one flow key and verdict; an
+// idle, empty egress whose wire is no faster than the arrival spacing
+// serialises the run back-to-back exactly as N chained TransmitAt calls
+// would; and a zero CPU tax means no per-frame management-CPU state to
+// advance.
+func (s *Switch) receiveTrainFast(p *Port, t *wire.Train, at sim.Time) bool {
+	n := len(t.Frames)
+	if !t.Uniform || n < 2 || s.cfg.DataplaneCPUTax > 0 {
+		return false
+	}
+	f0 := t.Frames[0]
+	slot := wire.SerializationTime(f0.Size, t.Rate)
+	if wire.SerializationTime(f0.Size, s.cfg.Rate) < slot {
+		return false // faster egress wire opens inter-frame gaps
+	}
+	key, err := openflow.KeyFromPacket(f0.Data, p.OFPort())
+	if err != nil {
+		return false // runts drop per frame
+	}
+	entry := s.table.Lookup(&key)
+	if entry == nil || len(entry.Actions) != 1 {
+		return false
+	}
+	act, ok := entry.Actions[0].(*openflow.ActionOutput)
+	if !ok || act.Port < 1 || int(act.Port) > len(s.ports) {
+		return false
+	}
+	out := s.ports[act.Port-1]
+	if out.link == nil || out.busy || out.queue.Len() > 0 {
+		return false
+	}
+
+	size := f0.Size
+	for range t.Frames {
+		p.rx.Add(size)
+	}
+	entry.Packets += uint64(n)
+	entry.Bytes += uint64(n) * uint64(size)
+	entry.LastUsed = at.Add(sim.Duration(n-1) * slot) // last frame's arrival
+	for _, f := range t.Frames {
+		f.SrcPort = out.index
+	}
+	ready := at.Add(s.cfg.PipelineLatency)
+	out.busy = true
+	end := out.link.TransmitTrain(t, ready)
+	for i := 0; i < n; i++ {
+		out.tx.Add(size)
+		s.forwarded.Add(size)
+	}
+	eventAt := end
+	if now := s.Engine.Now(); eventAt < now {
+		eventAt = now
+	}
+	if out.txEv == nil {
+		out.txEv = s.Engine.Schedule(eventAt, out.txDone)
+	} else {
+		s.Engine.Reschedule(out.txEv, eventAt)
+	}
+	return true
+}
+
 // applyActions executes an OF 1.0 action list on a frame arriving on
 // ingress in, with forwarding allowed from instant ready. The switch
 // owns the frame: header rewrites mutate it in place, every consuming

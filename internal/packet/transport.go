@@ -261,14 +261,37 @@ func (c *ICMPv4) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
 
 // Checksum computes the Internet checksum (RFC 1071) of data with an
 // initial partial sum, typically a pseudo-header sum.
+//
+// The accumulator walks 8-byte big-endian words with end-around carry —
+// the word-at-a-time form compilers turn into straight-line loads and
+// adc chains. It computes the same ones-complement sum as the 16-bit
+// pair loop because 2^16 ≡ 1 (mod 2^16−1): every 16-bit lane of a
+// 64-bit word carries weight 1 once the final folds collapse it, and a
+// wrapped 64-bit add loses exactly 2^64 ≡ 1, which the carry increment
+// restores.
 func Checksum(data []byte, initial uint32) uint16 {
-	sum := initial
-	n := len(data)
-	for i := 0; i+1 < n; i += 2 {
-		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	sum := uint64(initial)
+	for len(data) >= 8 {
+		w := uint64(data[0])<<56 | uint64(data[1])<<48 | uint64(data[2])<<40 | uint64(data[3])<<32 |
+			uint64(data[4])<<24 | uint64(data[5])<<16 | uint64(data[6])<<8 | uint64(data[7])
+		sum += w
+		if sum < w {
+			sum++ // end-around carry: 2^64 ≡ 1 (mod 2^16−1)
+		}
+		data = data[8:]
 	}
-	if n%2 == 1 {
-		sum += uint32(data[n-1]) << 8
+	// One 64→33-bit fold makes the tail adds overflow-free.
+	sum = sum>>32 + sum&0xffffffff
+	if len(data) >= 4 {
+		sum += uint64(data[0])<<24 | uint64(data[1])<<16 | uint64(data[2])<<8 | uint64(data[3])
+		data = data[4:]
+	}
+	if len(data) >= 2 {
+		sum += uint64(data[0])<<8 | uint64(data[1])
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint64(data[0]) << 8
 	}
 	for sum > 0xffff {
 		sum = sum&0xffff + sum>>16

@@ -25,6 +25,10 @@ func (ev *Event) Cancel() { ev.cancel = true }
 // Cancelled reports whether Cancel was called on the event.
 func (ev *Event) Cancelled() bool { return ev.cancel }
 
+// Pending reports whether the event is still in the queue waiting to
+// fire (a cancelled-but-unpopped event still counts as pending).
+func (ev *Event) Pending() bool { return ev.index != -1 }
+
 // eventHeap orders events by time, then by insertion sequence so that
 // events scheduled for the same instant fire in FIFO order. Deterministic
 // ordering is essential: experiment results must not depend on map or heap
@@ -130,6 +134,29 @@ func (e *Engine) Reschedule(ev *Event, at Time) {
 // RescheduleAfter re-arms a fired event d after the current instant.
 func (e *Engine) RescheduleAfter(ev *Event, d Duration) {
 	e.Reschedule(ev, e.now.Add(d))
+}
+
+// Reprogram moves an event to a new instant whether or not it is still
+// queued: a pending event is re-keyed in place (heap.Fix, no pop/push
+// churn) and a fired or cancelled-and-popped one is re-armed exactly like
+// Reschedule. Either way the event takes a fresh sequence number, so it
+// orders after everything already scheduled for the same instant — the
+// same FIFO position a freshly scheduled event would get. Batch consumers
+// use this to slide an in-flight completion event (a DMA drain, a
+// retransmit timer) forward or backward without cancel/re-create pairs.
+func (e *Engine) Reprogram(ev *Event, at Time) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: reprogram at %v before now %v", at, e.now))
+	}
+	if ev.index == -1 {
+		e.Reschedule(ev, at)
+		return
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.cancel = false
+	e.seq++
+	heap.Fix(&e.queue, ev.index)
 }
 
 // Step executes the next pending event, advancing the clock to its instant.

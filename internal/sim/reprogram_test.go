@@ -1,0 +1,92 @@
+package sim
+
+import "testing"
+
+// TestReprogramPendingRekeys checks the in-place re-key: moving a queued
+// event forward or backward must fire it exactly once, at the final
+// instant, without a cancel/re-create pair.
+func TestReprogramPendingRekeys(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	ev := e.Schedule(100, func() { fired = append(fired, e.Now()) })
+	e.Reprogram(ev, 40) // pull earlier
+	e.Reprogram(ev, 70) // push later again
+	e.Run()
+	if len(fired) != 1 || fired[0] != 70 {
+		t.Fatalf("fired at %v, want exactly [70]", fired)
+	}
+}
+
+// TestReprogramFiredRearms checks the Reschedule-equivalent half: an
+// event that already fired (index -1) re-arms like a fresh schedule.
+func TestReprogramFiredRearms(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var ev *Event
+	ev = e.Schedule(10, func() {
+		count++
+		if count == 1 {
+			e.Reprogram(ev, e.Now().Add(5))
+		}
+	})
+	e.Run()
+	if count != 2 {
+		t.Fatalf("fired %d times, want 2", count)
+	}
+}
+
+// TestReprogramRevivesCancelledQueuedEvent is the case Reschedule cannot
+// handle: a cancelled event still sitting in the queue is re-keyed and
+// un-cancelled in place, so it fires at the new instant.
+func TestReprogramRevivesCancelledQueuedEvent(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	ev := e.Schedule(10, func() { fired = append(fired, e.Now()) })
+	ev.Cancel()
+	e.Reprogram(ev, 25)
+	if ev.Cancelled() {
+		t.Fatal("reprogram left the event cancelled")
+	}
+	e.Run()
+	if len(fired) != 1 || fired[0] != 25 {
+		t.Fatalf("fired at %v, want exactly [25]", fired)
+	}
+}
+
+// TestReprogramOrdersAfterSameInstant checks the FIFO contract: a
+// reprogrammed event takes a fresh sequence number, so it runs after
+// events already scheduled for the same instant — exactly where a
+// freshly scheduled event would land.
+func TestReprogramOrdersAfterSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	ev := e.Schedule(10, func() { order = append(order, "moved") })
+	e.Schedule(50, func() { order = append(order, "resident") })
+	e.Reprogram(ev, 50)
+	e.Run()
+	if len(order) != 2 || order[0] != "resident" || order[1] != "moved" {
+		t.Fatalf("order = %v, want [resident moved]", order)
+	}
+}
+
+// TestReprogramPastPanics checks causality enforcement on both halves of
+// the API: a queued and an already-fired event alike refuse to move into
+// the past.
+func TestReprogramPastPanics(t *testing.T) {
+	e := NewEngine()
+	fired := e.Schedule(10, func() {})
+	queued := e.Schedule(100, func() {})
+	e.Schedule(20, func() {
+		for _, ev := range []*Event{fired, queued} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("no panic reprogramming into the past")
+					}
+				}()
+				e.Reprogram(ev, 5)
+			}()
+		}
+	})
+	e.Run()
+}

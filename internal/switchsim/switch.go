@@ -151,7 +151,14 @@ type Switch struct {
 }
 
 type pendingLookup struct {
-	f       *wire.Frame
+	f *wire.Frame
+	// train, when non-nil, is a coalesced uniform run occupying one FIFO
+	// entry (f is nil): lastBit and readyAt are the FIRST frame's
+	// instants and span is the per-frame ingress occupancy, so every
+	// later frame's instants follow arithmetically (lastBit_k =
+	// lastBit + k·span, readyAt_k = readyAt + k·span — exact because the
+	// train fast path requires service ≤ span, see trainViable).
+	train   *wire.Train
 	inPort  int
 	lastBit sim.Time     // frame fully received at the ingress MAC
 	span    sim.Duration // ingress wire occupancy (lastBit - firstBit)
@@ -231,8 +238,14 @@ func (s *Switch) GroupPorts(gid int) []int {
 // with the monitor's RSS steering), modulo the member count. Per-flow
 // stable, deterministic, allocation-free.
 func (s *Switch) sprayMember(gid int, data []byte) int {
-	members := s.groups[gid-1]
 	s.sprays++
+	return s.memberOf(gid, data)
+}
+
+// memberOf is sprayMember's pure selection: the member a frame with
+// these bytes lands on, with no counter side effects — usable as a peek.
+func (s *Switch) memberOf(gid int, data []byte) int {
+	members := s.groups[gid-1]
 	h := packet.Mix64(packet.PacketDigest(data, packet.HeaderDigestBytes))
 	return members[int(h%uint64(len(members)))]
 }
@@ -320,7 +333,7 @@ func (s *Switch) receive(p *Port, f *wire.Frame, firstBit, lastBit sim.Time) {
 		}
 		start = d
 	}
-	if p.lookupQ.Len() >= s.cfg.LookupQueueCap {
+	if p.lookupFrames >= s.cfg.LookupQueueCap {
 		s.lookupDrops++
 		s.ledger.Report(s.dropHop, wire.DropLookupOverflow, 1)
 		f.Release() // dropped frames go back to their pool
@@ -346,6 +359,102 @@ func (s *Switch) receive(p *Port, f *wire.Frame, firstBit, lastBit sim.Time) {
 	// lookups form a FIFO drained by one reusable event per port instead
 	// of one Event + closure per packet.
 	p.lookupQ.Push(pendingLookup{f: f, inPort: p.index, lastBit: lastBit, span: lastBit.Sub(firstBit), readyAt: ready})
+	p.lookupFrames++
+	if p.lookupQ.Len() == 1 {
+		p.armLookup(ready)
+	}
+}
+
+// trainViable reports whether a uniform run can take the coalesced
+// lookup path exactly. The conditions guarantee the per-frame pipeline
+// would have produced arithmetically derivable instants and no drops:
+// store-and-forward with deterministic service keeps every lookup start
+// at its frame's last bit; service ≤ per-frame slot plus an idle server
+// at the first arrival means the lookups chain without queueing (ready_k
+// = lastBit_k + service + pipeline); and the occupancy margins (half the
+// cap, trains at most a quarter of it) keep both worlds — batched
+// arrival accounting and interleaved per-frame pops — strictly below the
+// overflow threshold, so drop decisions cannot diverge.
+//
+// The second half peeks at the forwarding decision the train will get:
+// coalescing is only exact when the whole run lands on one concrete
+// same-rate egress with the same occupancy margin. A rate-converting
+// egress changes the spacing between frames, and a flooded, hairpinned
+// or near-full egress needs drop/clone decisions interleaved with the
+// transmit events that drain it — a coalesced run would make them all at
+// one collapsed instant. The peek mutates nothing (learning happens on
+// the real path), so a train that fails it replays per frame bit-exactly.
+func (s *Switch) trainViable(p *Port, t *wire.Train, at sim.Time) bool {
+	n := len(t.Frames)
+	if !t.Uniform || n < 2 {
+		return false
+	}
+	if s.cfg.Mode != StoreAndForward || s.cfg.LookupJitter != 0 {
+		return false
+	}
+	qcap := s.cfg.LookupQueueCap
+	if p.lookupFrames+n > qcap/2 || n > qcap/4 {
+		return false
+	}
+	if p.lookupFreeAt > at {
+		return false
+	}
+	size := t.Frames[0].Size
+	service := s.cfg.LookupPerPacket + sim.Duration(size)*s.cfg.LookupPerByte
+	if service > wire.SerializationTime(size, t.Rate) {
+		return false
+	}
+	// Forwarding peek: a known unicast destination on a same-rate,
+	// linked, non-hairpin egress with overflow headroom. Between this
+	// peek (first frame's last bit) and the decision (lookup ready) the
+	// egress can only drain, so the margin checked here still holds when
+	// dispatchTrain re-checks it.
+	var eth packet.Ethernet
+	if err := eth.DecodeFromBytes(t.Frames[0].Data); err != nil {
+		return false
+	}
+	out, ok := s.fdb[eth.Dst]
+	if !ok || eth.Dst.IsMulticast() {
+		return false
+	}
+	if out < 0 {
+		g := -out
+		if s.groupOf[p.index] == g {
+			return false
+		}
+		out = s.memberOf(g, t.Frames[0].Data)
+	}
+	if out == p.index {
+		return false
+	}
+	op := s.ports[out]
+	if op.link == nil {
+		return false
+	}
+	if wire.SerializationTime(size, s.PortRate(out)) != wire.SerializationTime(size, t.Rate) {
+		return false
+	}
+	ecap := s.cfg.EgressQueueCap
+	return op.queueFrames+n <= ecap/2 && n <= ecap/4
+}
+
+// receiveTrain admits a guard-checked uniform run as one lookup-FIFO
+// entry drained by one event.
+func (s *Switch) receiveTrain(p *Port, t *wire.Train, at sim.Time) {
+	n := len(t.Frames)
+	size := t.Frames[0].Size
+	slot := wire.SerializationTime(size, t.Rate)
+	service := s.cfg.LookupPerPacket + sim.Duration(size)*s.cfg.LookupPerByte
+	for _, f := range t.Frames {
+		f.SrcPort = p.index
+	}
+	// Lookup k runs [lastBit_k, lastBit_k + service] with no queueing
+	// (trainViable guarantees service ≤ slot and an idle server), so the
+	// server frees when the last frame's lookup completes.
+	p.lookupFreeAt = at.Add(sim.Duration(n-1)*slot + service)
+	ready := at.Add(service + s.cfg.PipelineLatency)
+	p.lookupQ.Push(pendingLookup{train: t, inPort: p.index, lastBit: at, span: slot, readyAt: ready})
+	p.lookupFrames += n
 	if p.lookupQ.Len() == 1 {
 		p.armLookup(ready)
 	}
@@ -369,10 +478,116 @@ func (p *Port) armLookup(ready sim.Time) {
 // hands the frame to the forwarding decision.
 func (p *Port) lookupDone() {
 	d := p.lookupQ.Pop()
+	if d.train != nil {
+		p.lookupFrames -= d.train.Len()
+	} else {
+		p.lookupFrames--
+	}
 	if p.lookupQ.Len() > 0 {
 		p.armLookup(p.lookupQ.Peek().readyAt)
 	}
+	if d.train != nil {
+		p.sw.decideTrain(d)
+		return
+	}
 	p.sw.decide(d)
+}
+
+// decideTrain makes one forwarding decision for a uniform run: the
+// frames are byte-identical, so source learning, the destination lookup,
+// the hairpin verdict, and the ECMP member are per-flow facts computed
+// once. Counter and ledger deltas scale by the frame count, keeping
+// every observable identical to N per-frame decisions.
+func (s *Switch) decideTrain(d pendingLookup) {
+	t := d.train
+	n := uint64(t.Len())
+	var eth packet.Ethernet
+	if err := eth.DecodeFromBytes(t.Frames[0].Data); err != nil {
+		s.runtDrops += n
+		s.ledger.Report(s.dropHop, wire.DropRunt, n)
+		t.Release()
+		return
+	}
+	if !eth.Src.IsMulticast() {
+		if cur, ok := s.fdb[eth.Src]; !ok || cur >= 0 || s.groupOf[d.inPort] != -cur {
+			s.fdb[eth.Src] = d.inPort
+		}
+	}
+	out, ok := s.fdb[eth.Dst]
+	if !ok || eth.Dst.IsMulticast() {
+		// Flooding clones per egress port with per-frame flood
+		// accounting; the per-frame decision path already does exactly
+		// that.
+		s.decidePerFrame(d)
+		return
+	}
+	if out < 0 {
+		if g := -out; s.groupOf[d.inPort] == g {
+			s.hairpinDrops += n
+			s.ledger.Report(s.dropHop, wire.DropHairpin, n)
+			t.Release()
+			return
+		}
+		out = s.sprayMember(-out, t.Frames[0].Data)
+		s.sprays += n - 1 // sprayMember counted one selection; per-frame counts n
+	}
+	if out == d.inPort {
+		s.hairpinDrops += n
+		s.ledger.Report(s.dropHop, wire.DropHairpin, n)
+		t.Release()
+		return
+	}
+	s.dispatchTrain(d, out)
+}
+
+// decidePerFrame unbundles a train at the decision stage, replaying the
+// per-frame path with each frame's exact instants.
+func (s *Switch) decidePerFrame(d pendingLookup) {
+	t := d.train
+	lb, ready := d.lastBit, d.readyAt
+	for i, f := range t.Frames {
+		t.Frames[i] = nil
+		s.decide(pendingLookup{f: f, inPort: d.inPort, lastBit: lb, span: d.span, readyAt: ready})
+		lb = lb.Add(d.span)
+		ready = ready.Add(d.span)
+	}
+	t.Frames = t.Frames[:0]
+	t.Recycle()
+}
+
+// dispatchTrain hands a whole uniform run to one egress port. The run
+// stays coalesced — one egress FIFO entry, one transmit event — when the
+// egress wire is no faster than the arrival spacing (same-rate egress
+// preserves abutment; down-conversion backs the frames up against each
+// other) and the queue has the same overflow margin the lookup guard
+// demands. A faster egress wire would open gaps between the frames, and
+// a near-full queue needs interleaved per-frame drop accounting, so both
+// leave per frame instead.
+func (s *Switch) dispatchTrain(d pendingLookup, out int) {
+	t := d.train
+	p := s.ports[out]
+	serOut := wire.SerializationTime(t.Frames[0].Size, s.PortRate(out))
+	boundary := serOut != d.span
+	n := t.Len()
+	qcap := s.cfg.EgressQueueCap
+	if serOut < d.span || p.link == nil || p.queueFrames+n > qcap/2 || n > qcap/4 {
+		// Per-frame egress. In store-and-forward mode readyAt_k is
+		// always past lastBit_k (service + pipeline are positive), so
+		// dispatch()'s boundary clamp can never fire; earliest is the
+		// ready instant directly.
+		earliest := d.readyAt
+		for i, f := range t.Frames {
+			t.Frames[i] = nil
+			p.enqueue(f, earliest, boundary)
+			earliest = earliest.Add(d.span)
+		}
+		t.Frames = t.Frames[:0]
+		t.Recycle()
+		return
+	}
+	p.queue.Push(queued{train: t, earliest: d.readyAt})
+	p.queueFrames += n
+	p.trySend()
 }
 
 // decide learns the source, looks up the destination, and hands the frame
@@ -480,15 +695,24 @@ type Port struct {
 	drops  uint64
 	egress stats.Counter
 
+	// queueFrames counts frames (not FIFO entries) pending in the egress
+	// queue: a train entry carries many, so the cap check needs the frame
+	// count. Equal to queue.Len() when no trains are queued.
+	queueFrames int
+
 	// Ingress lookup pipeline state: a FIFO of frames whose lookup is in
 	// flight, drained by one reusable event (see lookupDone).
 	lookupFreeAt sim.Time
 	lookupQ      ring.FIFO[pendingLookup]
 	lookupEv     *sim.Event
+	// lookupFrames counts frames pending in lookupQ (train entries carry
+	// many); the LookupQueueCap check is against frames, as on hardware.
+	lookupFrames int
 }
 
 type queued struct {
 	f        *wire.Frame
+	train    *wire.Train // non-nil: a coalesced run transmitted in one pass
 	earliest sim.Time
 }
 
@@ -501,6 +725,29 @@ func (p *Port) SetLink(l *wire.Link) { p.link = l }
 // Receive implements wire.Endpoint.
 func (p *Port) Receive(f *wire.Frame, firstBit, lastBit sim.Time) {
 	p.sw.receive(p, f, firstBit, lastBit)
+}
+
+// ReceiveTrain implements wire.TrainEndpoint: a uniform run inside the
+// exactness envelope (trainViable) flows through the switch as one
+// lookup entry, one decision, and one egress entry; anything else
+// unbundles into the per-frame receive path with each frame's exact
+// first-bit/last-bit instants.
+func (p *Port) ReceiveTrain(t *wire.Train, start, at sim.Time) {
+	if p.sw.trainViable(p, t, at) {
+		p.sw.receiveTrain(p, t, at)
+		return
+	}
+	fb, lb := start, at
+	for i, f := range t.Frames {
+		t.Frames[i] = nil
+		p.sw.receive(p, f, fb, lb)
+		if i+1 < len(t.Frames) {
+			fb = lb
+			lb = fb.Add(wire.SerializationTime(t.Frames[i+1].Size, t.Rate))
+		}
+	}
+	t.Frames = t.Frames[:0]
+	t.Recycle()
 }
 
 // Drops returns frames lost to egress queue overflow.
@@ -516,7 +763,7 @@ func (p *Port) enqueue(f *wire.Frame, earliest sim.Time, boundary bool) {
 	if p.link == nil {
 		panic(fmt.Sprintf("switchsim: egress port %d has no link", p.index))
 	}
-	if p.queue.Len() >= p.sw.cfg.EgressQueueCap {
+	if p.queueFrames >= p.sw.cfg.EgressQueueCap {
 		p.drops++
 		reason := wire.DropEgressOverflow
 		if boundary {
@@ -527,6 +774,7 @@ func (p *Port) enqueue(f *wire.Frame, earliest sim.Time, boundary bool) {
 		return
 	}
 	p.queue.Push(queued{f: f, earliest: earliest})
+	p.queueFrames++
 	p.trySend()
 }
 
@@ -535,6 +783,12 @@ func (p *Port) trySend() {
 		return
 	}
 	q := p.queue.Pop()
+	if q.train != nil {
+		p.queueFrames -= q.train.Len()
+		p.sendTrain(q.train, q.earliest)
+		return
+	}
+	p.queueFrames--
 
 	p.busy = true
 	end := p.link.TransmitAt(q.f, q.earliest)
@@ -543,6 +797,42 @@ func (p *Port) trySend() {
 	}
 	p.egress.Add(wire.WireBytes(q.f.Size))
 	p.sw.forwarded.Add(wire.WireBytes(q.f.Size))
+	eventAt := end
+	if now := p.sw.Engine.Now(); eventAt < now {
+		eventAt = now
+	}
+	if p.txEv == nil {
+		p.txEv = p.sw.Engine.Schedule(eventAt, p.txDone)
+	} else {
+		p.sw.Engine.Reschedule(p.txEv, eventAt)
+	}
+}
+
+// sendTrain transmits a coalesced uniform run back-to-back in one MAC
+// pass: one link call, one completion event, bulk counters, and
+// arithmetic per-frame hop stamps.
+func (p *Port) sendTrain(t *wire.Train, earliest sim.Time) {
+	n := t.Len()
+	wb := wire.WireBytes(t.Frames[0].Size)
+	ser := wire.SerializationTime(t.Frames[0].Size, p.link.Rate)
+	p.busy = true
+	end := p.link.TransmitTrain(t, earliest)
+	if id := p.sw.cfg.HopID; id != 0 && p.link.Peer != nil {
+		// The frames now belong to the link's in-flight entry, but this
+		// runs synchronously before the delivery event, so stamping their
+		// egress instants here matches the per-frame path (which also
+		// stamps after handing the frame to the link). Frame k's last bit
+		// leaves (n-1-k) slots before the train's end.
+		at := end.Add(-sim.Duration(n-1) * ser)
+		for _, f := range t.Frames {
+			f.Trace.Stamp(id, at)
+			at = at.Add(ser)
+		}
+	}
+	for i := 0; i < n; i++ {
+		p.egress.Add(wb)
+		p.sw.forwarded.Add(wb)
+	}
 	eventAt := end
 	if now := p.sw.Engine.Now(); eventAt < now {
 		eventAt = now

@@ -689,5 +689,14 @@ func (s *Sink) Receive(f *wire.Frame, _, _ sim.Time) {
 	f.Release()
 }
 
+// ReceiveTrain implements wire.TrainEndpoint: one delivery event counts
+// and releases the whole run.
+func (s *Sink) ReceiveTrain(t *wire.Train, _, _ sim.Time) {
+	for _, f := range t.Frames {
+		s.received.Add(wire.WireBytes(f.Size))
+	}
+	t.Release()
+}
+
 // Received returns counters over the delivered frames (wire bytes).
 func (s *Sink) Received() stats.Counter { return s.received }

@@ -25,7 +25,8 @@ import (
 // A Pool is safe for concurrent use; the parallel experiment runner's
 // workers share one.
 type Pool struct {
-	p sync.Pool
+	p  sync.Pool
+	tp sync.Pool // Train containers (the Frames inside recycle via p)
 
 	gets  atomic.Uint64
 	puts  atomic.Uint64
@@ -72,6 +73,28 @@ func (p *Pool) Get(n int) *Frame {
 func (p *Pool) put(f *Frame) {
 	p.puts.Add(1)
 	p.p.Put(f)
+}
+
+// GetTrain returns an empty Train container whose Frames slice (backing
+// array included) recycles across batches, so steady-state coalescing
+// allocates nothing per train.
+func (p *Pool) GetTrain() *Train {
+	t, _ := p.tp.Get().(*Train)
+	if t == nil {
+		t = &Train{}
+	}
+	t.Frames = t.Frames[:0]
+	t.Rate = 0
+	t.Uniform = false
+	t.pool = p
+	return t
+}
+
+// putTrain returns a train container to the pool. Callers go through
+// Train.Recycle, which clears the pool pointer first so a double recycle
+// degrades to a no-op.
+func (p *Pool) putTrain(t *Train) {
+	p.tp.Put(t)
 }
 
 // Stats reports cumulative gets, releases, and fresh allocations. In a

@@ -220,15 +220,18 @@ type Link struct {
 	deliverEv *sim.Event
 }
 
-// inflight is one frame in flight on the link, held by value in the
-// pending FIFO.
+// inflight is one frame — or one whole frame train — in flight on the
+// link, held by value in the pending FIFO. For a train, firstBit/lastBit
+// are the first frame's window; the rest follow arithmetically.
 type inflight struct {
 	f                 *Frame
+	train             *Train // non-nil: a coalesced run, f unused
 	firstBit, lastBit sim.Time
 }
 
-// deliver is the single delivery-event callback: it hands the head frame
-// to the peer and re-arms for the next pending frame, if any.
+// deliver is the single delivery-event callback: it hands the head entry
+// (one frame, or one whole train) to the peer and re-arms for the next
+// pending entry, if any.
 func (l *Link) deliver() {
 	d := l.pending.Pop()
 	// Re-arm before the callback: if the peer transmits on this same link
@@ -242,7 +245,29 @@ func (l *Link) deliver() {
 		}
 		l.Engine.Reschedule(l.deliverEv, eventAt)
 	}
-	l.Peer.Receive(d.f, d.firstBit, d.lastBit)
+	if d.train == nil {
+		l.Peer.Receive(d.f, d.firstBit, d.lastBit)
+		return
+	}
+	if tep, ok := l.Peer.(TrainEndpoint); ok {
+		tep.ReceiveTrain(d.train, d.firstBit, d.lastBit)
+		return
+	}
+	// Per-frame fallback: recover each frame's exact boundary instants
+	// from the train arithmetic. Frames abut, so frame k's first bit
+	// arrives the instant frame k-1's last bit did.
+	t := d.train
+	fb, lb := d.firstBit, d.lastBit
+	for i, f := range t.Frames {
+		t.Frames[i] = nil
+		l.Peer.Receive(f, fb, lb)
+		if i+1 < len(t.Frames) {
+			fb = lb
+			lb = fb.Add(SerializationTime(t.Frames[i+1].Size, t.Rate))
+		}
+	}
+	t.Frames = t.Frames[:0]
+	t.Recycle()
 }
 
 // NewLink builds a link on engine e at rate r with propagation delay d,
