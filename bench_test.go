@@ -1,6 +1,6 @@
 // Package osnt_test holds the repository-level benchmark harness: one
 // benchmark per experiment table/figure in DESIGN.md (E1–E8, plus the
-// E9–E16 scaling sweeps). Each iteration regenerates the corresponding
+// E9–E19 scaling sweeps). Each iteration regenerates the corresponding
 // table from scratch, so `go test -bench=. -benchmem` both exercises the
 // full stack and reports how much host CPU a complete experiment costs.
 // The tables themselves are printed by `go run ./cmd/osnt-bench` and
@@ -33,6 +33,7 @@ const (
 	benchE16Dur = 2 * sim.Millisecond
 	benchE17Dur = 2 * sim.Millisecond
 	benchE18Dur = sim.Millisecond
+	benchE19Dur = 250 * sim.Microsecond
 )
 
 func BenchmarkE1LineRate(b *testing.B) {
@@ -238,6 +239,34 @@ func BenchmarkE18TrainSweep(b *testing.B) {
 			if row[6] != "true" {
 				b.Fatalf("train run diverged from the per-frame reference: %v", row)
 			}
+		}
+	}
+}
+
+// BenchmarkE19FatTreeK4 runs the k=4 slice of the synthesized-fabric
+// sweep (20 switches, 16 hosts, three traffic matrices across load) and
+// asserts the ledger's conservation column on every row.
+func BenchmarkE19FatTreeK4(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E19FatTreeK4(benchE19Dur)
+		for _, row := range tbl.Rows {
+			if row[12] != "true" {
+				b.Fatalf("fabric loss not conserved: %v", row)
+			}
+		}
+	}
+}
+
+// BenchmarkFabricSynthK8 isolates fabric synthesis: one iteration
+// builds a full k=8 fat-tree (80 switches, 128 hosts, every FDB
+// pre-learned) on a fresh engine — the fixed cost every E19 point pays
+// before the first frame.
+func BenchmarkFabricSynthK8(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if experiments.FabricSynthMicroBench() != 80 {
+			b.Fatal("k=8 synthesis produced the wrong switch count")
 		}
 	}
 }

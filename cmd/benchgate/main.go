@@ -3,9 +3,10 @@
 // BenchmarkE10TesterMesh, BenchmarkE11Rate40G, BenchmarkE12MixedRateFanIn,
 // BenchmarkE13MultiDUTChain, BenchmarkE14Capture100G,
 // BenchmarkE15Oversubscribed, BenchmarkE16LossAttribution,
-// BenchmarkE17FlowAnalytics, BenchmarkE18TrainSweep and the
-// BenchmarkMonSteer8Q / BenchmarkDUTSpray2W / BenchmarkMonMerge8Q /
-// BenchmarkFlowTableUpsert / BenchmarkPacketChecksum micro-benchmarks
+// BenchmarkE17FlowAnalytics, BenchmarkE18TrainSweep,
+// BenchmarkE19FatTreeK4 and the BenchmarkMonSteer8Q /
+// BenchmarkDUTSpray2W / BenchmarkMonMerge8Q / BenchmarkFlowTableUpsert /
+// BenchmarkFabricSynthK8 / BenchmarkPacketChecksum micro-benchmarks
 // iterate),
 // writes the measured ns/op and
 // allocs/op to a JSON report, and compares the report against a
@@ -75,6 +76,8 @@ var benchmarks = []struct {
 	{"E16LossAttr", func() { experiments.E16LossAttribution(2 * sim.Millisecond) }},
 	{"E17FlowAnalytics", func() { experiments.E17FlowAnalytics(2 * sim.Millisecond) }},
 	{"E18TrainSweep", func() { experiments.E18TrainSpeedup(sim.Millisecond) }},
+	{"E19FatTreeK4", func() { experiments.E19FatTreeK4(250 * sim.Microsecond) }},
+	{"FabricSynthK8", func() { experiments.FabricSynthMicroBench() }},
 	{"MonSteer8Q", func() { experiments.SteerMicroBench(sim.Millisecond) }},
 	{"DUTSpray2W", func() { experiments.SprayMicroBench(sim.Millisecond) }},
 	{"MonMerge8Q", func() { experiments.MergeMicroBench(sim.Millisecond) }},

@@ -3,7 +3,8 @@
 // E10 tester mesh, E11 40G ports, E12 mixed-rate fan-in, E13 multi-DUT
 // chain, E14 100G multi-queue capture, E15 oversubscribed ECMP fabric,
 // E16 per-hop loss attribution, E17 per-flow analytics over merged
-// multi-queue capture and E18 frame-train coalescing) printed to stdout.
+// multi-queue capture, E18 frame-train coalescing and E19 synthesized
+// fat-tree fabrics) printed to stdout.
 // Use -e to select a single experiment,
 // -workers to bound sweep parallelism (tables are byte-identical at any
 // worker count) and -train to override the frame-train cap of the
@@ -52,6 +53,7 @@ var runners = []struct {
 	{"e16", "per-hop loss attribution through a 4-deep converting chain", func() *stats.Table { return experiments.E16LossAttribution(0) }},
 	{"e17", "per-flow analytics over merged multi-queue capture: elephants and mice through a lossy DUT", func() *stats.Table { return experiments.E17FlowAnalytics(0) }},
 	{"e18", "frame-train coalescing at 100G: events per frame vs train cap, bit-exact across caps", func() *stats.Table { return experiments.E18TrainSpeedup(0) }},
+	{"e19", "synthesized fat-trees: k=8/k=4 under permutation/incast/hot-spot with per-tier loss attribution", func() *stats.Table { return experiments.E19FatTree(0) }},
 }
 
 func validIDs() string {

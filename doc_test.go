@@ -1,0 +1,65 @@
+package osnt_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasDocComment is the doc-presence gate: every package
+// under internal/ and cmd/ must carry a package comment (one paragraph
+// of role + invariants) on at least one of its non-test files. The
+// architecture document can only point into packages that explain
+// themselves.
+func TestEveryPackageHasDocComment(t *testing.T) {
+	var dirs []string
+	for _, root := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sources []string
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			sources = append(sources, filepath.Join(dir, name))
+		}
+		if len(sources) == 0 {
+			continue // no buildable package here
+		}
+		documented := false
+		for _, src := range sources {
+			f, err := parser.ParseFile(fset, src, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package %s has no package doc comment on any of its %d files", dir, len(sources))
+		}
+	}
+}

@@ -4,7 +4,8 @@
 // ports, E12 mixed-rate fan-in, E13 multi-DUT chain decomposition, E14
 // 100G multi-queue capture, E15 oversubscribed ECMP fabric, E16 per-hop
 // loss attribution, E17 per-flow analytics over merged multi-queue
-// capture).
+// capture, E18 frame-train coalescing, E19 synthesized fat-tree
+// fabrics).
 // Each driver declares its rig as an internal/topo scenario
 // graph, runs the workload in virtual time and returns a printable table
 // whose shape can be compared against the paper; the cmd/osnt-bench
@@ -513,5 +514,6 @@ func All() []*stats.Table {
 		E16LossAttribution(0),
 		E17FlowAnalytics(0),
 		E18TrainSpeedup(0),
+		E19FatTree(0),
 	}
 }

@@ -88,6 +88,15 @@ type Config struct {
 	LookupJitter float64
 	// Seed feeds the jitter random stream.
 	Seed uint64
+	// SpraySeed salts the ECMP spray hash. On a multi-stage fabric
+	// every switch hashing the same headers the same way is a
+	// pathology: a flow that picked uplink m at the first stage picks
+	// member m again at the next, so equal-width sprays collapse onto
+	// one downstream path. Giving each switch its own salt (as real
+	// fabrics seed their hash functions per device) decorrelates the
+	// stages. Default 0 — a single spraying switch needs no salt, and
+	// existing single-stage rigs are unchanged.
+	SpraySeed uint64
 	// LookupQueueCap bounds each ingress lookup queue in packets (default
 	// 512); overflow is dropped and counted.
 	LookupQueueCap int
@@ -234,9 +243,10 @@ func (s *Switch) GroupPorts(gid int) []int {
 // sprayMember picks the group member carrying this frame: the hardware
 // digest over the L2–L4 headers (packet.HeaderDigestBytes — ECMP must
 // hash headers only, or the embedded TX timestamp would move a flow
-// between members packet by packet), whitened by packet.Mix64 (shared
-// with the monitor's RSS steering), modulo the member count. Per-flow
-// stable, deterministic, allocation-free.
+// between members packet by packet), salted per switch (SpraySeed) and
+// whitened by packet.Mix64 (shared with the monitor's RSS steering),
+// modulo the member count. Per-flow stable, deterministic,
+// allocation-free.
 func (s *Switch) sprayMember(gid int, data []byte) int {
 	s.sprays++
 	return s.memberOf(gid, data)
@@ -246,7 +256,7 @@ func (s *Switch) sprayMember(gid int, data []byte) int {
 // these bytes lands on, with no counter side effects — usable as a peek.
 func (s *Switch) memberOf(gid int, data []byte) int {
 	members := s.groups[gid-1]
-	h := packet.Mix64(packet.PacketDigest(data, packet.HeaderDigestBytes))
+	h := packet.Mix64(packet.PacketDigest(data, packet.HeaderDigestBytes) ^ s.cfg.SpraySeed)
 	return members[int(h%uint64(len(members)))]
 }
 

@@ -250,18 +250,26 @@ func offsetRef(ref string, k int) string {
 // Group declares n parallel unidirectional edges from → to — a
 // multi-edge group link, the fabric idiom for N×uplink bundles: member
 // k joins from's port+k to to's port+k. Every member is validated
-// exactly like a single edge (port ranges, reuse, rate agreement), and
-// all members must resolve to one rate — ECMP spraying across the
-// bundle (switchsim.AddGroup over the same ports) assumes equal-cost
-// members. n must be at least 2.
+// exactly like a single edge (port ranges, reuse, rate agreement) and a
+// failing member reports its own index and ports, and all members must
+// resolve to one rate — ECMP spraying across the bundle
+// (switchsim.AddGroup over the same ports) assumes equal-cost members.
+// n must be at least 2.
 func (b *Builder) Group(from, to string, n int) *Builder {
+	return b.GroupAt(from, to, n, 0, 0)
+}
+
+// GroupAt is Group with an explicit per-member rate and propagation
+// delay — the spelling fabric synthesis uses for trunked bundles whose
+// cables carry a delay.
+func (b *Builder) GroupAt(from, to string, n int, rate wire.Rate, delay sim.Duration) *Builder {
 	if n < 2 {
 		b.errs = append(b.errs, fmt.Errorf("topo: group link %s → %s needs ≥2 members, got %d", from, to, n))
 		return b
 	}
 	b.groups = append(b.groups, groupDecl{from: from, to: to, start: len(b.edges), n: n})
 	for k := 0; k < n; k++ {
-		b.edges = append(b.edges, Edge{From: offsetRef(from, k), To: offsetRef(to, k)})
+		b.edges = append(b.edges, Edge{From: offsetRef(from, k), To: offsetRef(to, k), Rate: rate, Delay: delay})
 	}
 	return b
 }
@@ -270,6 +278,27 @@ func (b *Builder) Group(from, to string, n int) *Builder {
 // parallel cables between a's ports a..a+n-1 and c's ports c..c+n-1.
 func (b *Builder) GroupDuplex(a, c string, n int) *Builder {
 	return b.Group(a, c, n).Group(c, a, n)
+}
+
+// GroupDuplexAt is GroupDuplex with an explicit per-member rate and
+// propagation delay.
+func (b *Builder) GroupDuplexAt(a, c string, n int, rate wire.Rate, delay sim.Duration) *Builder {
+	return b.GroupAt(a, c, n, rate, delay).GroupAt(c, a, n, rate, delay)
+}
+
+// memberContext locates edge index idx inside a group declaration and
+// returns the "group link … member k" error prefix, or "" for plain
+// edges. A k-wide synthesized bundle that fails validation must say
+// *which member* (and therefore which concrete ports) is wrong — on an
+// 80-switch fabric, "group link agg0.1:8 → core3:0 member 3" is the
+// difference between a debuggable error and a guess.
+func (b *Builder) memberContext(idx int) string {
+	for _, g := range b.groups {
+		if idx >= g.start && idx < g.start+g.n {
+			return fmt.Sprintf("group link %s → %s member %d: ", g.from, g.to, idx-g.start)
+		}
+	}
+	return ""
 }
 
 // endpoint is one resolved side of an edge.
@@ -466,33 +495,42 @@ func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
 	// footprint small enough for tight sweep loops (one Build per point).
 	wires := make([]resolved, 0, len(b.edges))
 
-	for _, edge := range b.edges {
+	for idx, edge := range b.edges {
+		// fail records a validation error; a group-member edge is
+		// re-prefixed so the message names the failing member, not just
+		// the bundle.
+		fail := func(err error) {
+			if ctx := b.memberContext(idx); ctx != "" {
+				err = fmt.Errorf("topo: %s%s", ctx, strings.TrimPrefix(err.Error(), "topo: "))
+			}
+			errs = append(errs, err)
+		}
 		from, errF := resolveRef(b.byName, edge.From)
 		to, errT := resolveRef(b.byName, edge.To)
 		if errF != nil {
-			errs = append(errs, errF)
+			fail(errF)
 		}
 		if errT != nil {
-			errs = append(errs, errT)
+			fail(errT)
 		}
 		if errF != nil || errT != nil {
 			continue
 		}
 		if from.n.kind == kindSink {
-			errs = append(errs, fmt.Errorf("topo: sink %q cannot transmit (edge %s → %s)",
+			fail(fmt.Errorf("topo: sink %q cannot transmit (edge %s → %s)",
 				from.n.name, edge.From, edge.To))
 			continue
 		}
 		dup := false
 		for _, w := range wires {
 			if w.from == from {
-				errs = append(errs, fmt.Errorf("topo: transmit port %s:%d used by two edges",
+				fail(fmt.Errorf("topo: transmit port %s:%d used by two edges",
 					from.n.name, from.port))
 				dup = true
 				break
 			}
 			if w.to == to {
-				errs = append(errs, fmt.Errorf("topo: receive port %s:%d fed by two edges",
+				fail(fmt.Errorf("topo: receive port %s:%d fed by two edges",
 					to.n.name, to.port))
 				dup = true
 				break
@@ -513,20 +551,20 @@ func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
 		toRate := to.n.rateAt(to.port)
 		if edge.Convert {
 			if from.n.kind != kindDUT && to.n.kind != kindDUT {
-				errs = append(errs, fmt.Errorf("topo: conversion edge %s → %s joins no DUT (only a DUT store-and-forwards across a rate boundary)",
+				fail(fmt.Errorf("topo: conversion edge %s → %s joins no DUT (only a DUT store-and-forwards across a rate boundary)",
 					edge.From, edge.To))
 				continue
 			}
 			if rate == 0 {
 				rate = fromRate
 			} else if fromRate != 0 && rate != fromRate {
-				errs = append(errs, fmt.Errorf("topo: conversion edge %s → %s at %v, but the transmitting %s %q port runs at %v",
+				fail(fmt.Errorf("topo: conversion edge %s → %s at %v, but the transmitting %s %q port runs at %v",
 					edge.From, edge.To, rate, from.n.kind, from.n.name, fromRate))
 				continue
 			}
 		} else {
 			if fromRate != 0 && toRate != 0 && fromRate != toRate {
-				errs = append(errs, fmt.Errorf("topo: edge %s → %s joins %s %q at %v to %s %q at %v; use a Convert edge at a DUT for store-and-forward speed conversion",
+				fail(fmt.Errorf("topo: edge %s → %s joins %s %q at %v to %s %q at %v; use a Convert edge at a DUT for store-and-forward speed conversion",
 					edge.From, edge.To, from.n.kind, from.n.name, fromRate, to.n.kind, to.n.name, toRate))
 				continue
 			}
@@ -537,7 +575,7 @@ func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
 				if rate == 0 {
 					rate = native
 				} else if rate != native {
-					errs = append(errs, fmt.Errorf("topo: edge %s → %s at %v, but its ports run at %v",
+					fail(fmt.Errorf("topo: edge %s → %s at %v, but its ports run at %v",
 						edge.From, edge.To, rate, native))
 					break
 				}
@@ -563,8 +601,8 @@ func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
 			if k == 0 {
 				rate = r
 			} else if r != rate {
-				errs = append(errs, fmt.Errorf("topo: group link %s → %s mixes member rates %v and %v",
-					g.from, g.to, rate, r))
+				errs = append(errs, fmt.Errorf("topo: group link %s → %s mixes member rates: member 0 (%s) at %v, member %d (%s) at %v",
+					g.from, g.to, b.edges[g.start].From, rate, k, b.edges[g.start+k].From, r))
 				break
 			}
 		}

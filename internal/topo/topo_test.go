@@ -552,6 +552,54 @@ func TestGroupLinkValidation(t *testing.T) {
 		"mixes member rates")
 }
 
+// A failing group member must name itself: on a synthesized fabric a
+// bundle is k ports wide, and "group link a:1 → b:0 member 1 (a:2)" is
+// what makes the error actionable. The member index and the concrete
+// offending port both appear.
+func TestGroupMemberErrorsNameTheMember(t *testing.T) {
+	// Member 1 of a 2-wide group resolves to out-of-range port a:2.
+	wantBuildError(t,
+		New().DUT("a", switchsim.Config{Ports: 2}).DUT("b", switchsim.Config{Ports: 4}).
+			Group("a:1", "b:0", 2),
+		"group link a:1 → b:0 member 1", "a:2")
+	// Member 1 collides with a pre-existing edge on b:1.
+	wantBuildError(t,
+		New().DUT("a", switchsim.Config{Ports: 4}).DUT("b", switchsim.Config{Ports: 4}).
+			Link("a:3", "b:1").
+			Group("a:0", "b:0", 2),
+		"group link a:0 → b:0 member 1", "b:1")
+	// Mixed member rates name member 0 and the diverging member with
+	// their resolved ports.
+	wantBuildError(t,
+		New().
+			DUT("a", switchsim.Config{Ports: 4, PortRates: []wire.Rate{0, 0, 0, wire.Rate40G}}).
+			DUT("b", switchsim.Config{Ports: 4}).
+			Group("a:2", "b:0", 2),
+		"mixes member rates", "member 0 (a:2)", "member 1 (a:3)")
+}
+
+// GroupAt/GroupDuplexAt carry an explicit member rate and propagation
+// delay: a 40G trunk between two 40G ports builds, and traffic sprayed
+// across it arrives after the configured delay.
+func TestGroupAtRateAndDelay(t *testing.T) {
+	e := sim.NewEngine()
+	tp := New().
+		DUT("a", switchsim.Config{Ports: 4, PortRates: []wire.Rate{0, 0, wire.Rate40G, wire.Rate40G}}).
+		DUT("b", switchsim.Config{Ports: 4, PortRates: []wire.Rate{wire.Rate40G, wire.Rate40G}}).
+		GroupDuplexAt("a:2", "b:0", 2, wire.Rate40G, sim.Microsecond).
+		MustBuild(e)
+	// Mismatched explicit rate against the native port rate still fails.
+	wantBuildError(t,
+		New().
+			DUT("a", switchsim.Config{Ports: 4}).
+			DUT("b", switchsim.Config{Ports: 4}).
+			GroupAt("a:0", "b:0", 2, wire.Rate40G, 0),
+		"group link a:0 → b:0 member 0", "ports run at")
+	if tp.DUT("a") == nil || tp.DUT("b") == nil {
+		t.Fatal("trunk endpoints missing")
+	}
+}
+
 // The scenario ledger is threaded through every device Build
 // instantiates: a DUT's drops land under its HopTrace hop ID, and
 // conservation closes over the topology's own counters.
