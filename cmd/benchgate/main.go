@@ -44,6 +44,7 @@ import (
 	"strings"
 	"time"
 
+	"osnt/internal/analysis"
 	"osnt/internal/experiments"
 	"osnt/internal/packet"
 	"osnt/internal/sim"
@@ -83,6 +84,7 @@ var benchmarks = []struct {
 	{"MonMerge8Q", func() { experiments.MergeMicroBench(sim.Millisecond) }},
 	{"FlowTableUpsert", func() { experiments.FlowTableMicroBench() }},
 	{"PacketChecksum", checksumDriver},
+	{"LintCheckSelf", lintSelfDriver},
 }
 
 // checksumSink keeps the checksum loop observable so the compiler cannot
@@ -99,6 +101,20 @@ func checksumDriver() {
 	}
 	for i := 0; i < 20000; i++ {
 		checksumSink = packet.Checksum(data, uint32(i))
+	}
+}
+
+// lintSelfDriver runs the internal/analysis suite over the whole module —
+// parse, type-check, four analyzers — so the invariant gate's own cost is
+// tracked: a pathological slowdown in the ownership interpreter would
+// otherwise only surface as mysteriously slower CI.
+func lintSelfDriver() {
+	diags, _, err := analysis.SelfCheck(".")
+	if err != nil {
+		panic(fmt.Sprintf("benchgate: lint self-check: %v", err))
+	}
+	if len(diags) != 0 {
+		panic(fmt.Sprintf("benchgate: lint self-check found %d diagnostics; run cmd/lintcheck", len(diags)))
 	}
 }
 

@@ -1,0 +1,85 @@
+// Command lintcheck is the repository's invariant gate: a multichecker
+// running the internal/analysis suite — framelease (pooled-frame
+// ownership), hotpathalloc (zero-alloc hot paths), detorder (byte-identical
+// determinism) and simtime (virtual-time hygiene) — over the module and
+// failing when any contract is violated. CI runs it on every PR:
+//
+//	go run ./cmd/lintcheck ./...
+//
+// Diagnostics print as file:line:col: message (analyzer). Deliberate
+// exceptions are encoded in the source as
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above it; hot-path roots are declared
+// with //lint:hotpath in a function's doc comment.
+//
+// Flags:
+//
+//	-list            print the analyzers and exit
+//	-disable a,b     skip the named analyzers for this run
+//
+// Patterns are accepted for command-line symmetry with go vet but the
+// whole module is always analysed: the loader type-checks every package in
+// dependency order, so partial loads would cost as much as full ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"osnt/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	disabled := map[string]bool{}
+	for _, name := range strings.Split(*disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			disabled[name] = true
+		}
+	}
+	var suite []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if !disabled[a.Name] {
+			suite = append(suite, a)
+		}
+	}
+
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintcheck: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

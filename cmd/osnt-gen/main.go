@@ -96,7 +96,7 @@ func main() {
 	}
 	g.Start(0)
 	if *durMS > 0 {
-		e.RunUntil(sim.Time(*durMS) * sim.Time(sim.Millisecond))
+		e.RunUntil(sim.After(sim.Milliseconds(int64(*durMS))))
 		g.Stop()
 	}
 	e.Run()

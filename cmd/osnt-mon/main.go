@@ -185,7 +185,7 @@ func main() {
 		log.Fatal(err)
 	}
 	g.Start(0)
-	e.RunUntil(sim.Time(*durMS) * sim.Time(sim.Millisecond))
+	e.RunUntil(sim.After(sim.Milliseconds(int64(*durMS))))
 	g.Stop()
 	e.Run()
 	if merge != nil {

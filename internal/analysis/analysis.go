@@ -1,0 +1,280 @@
+// Package analysis is the repository's static-analysis suite: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// driver shape (Analyzer, Pass, diagnostics, an analysistest-style corpus
+// runner) plus four custom passes that enforce the codebase's load-bearing
+// contracts at compile time instead of megabytes of simulation later:
+//
+//   - framelease: every pooled wire.Frame/wire.Train acquired from a Pool
+//     reaches Release/Recycle or an ownership-transfer sink on every path —
+//     the silent-leak and double-release classes.
+//   - hotpathalloc: functions annotated //lint:hotpath (and everything they
+//     reach inside their package) stay free of allocation-inducing
+//     constructs: closures, map literals, fmt calls, interface boxing.
+//   - detorder: internal simulation packages must not let map iteration
+//     order, wall-clock time, global math/rand, or multi-way selects feed
+//     output, scheduling, or hashing — the byte-identical-tables killer.
+//   - simtime: raw integer arithmetic on sim.Time outside internal/sim, and
+//     Schedule calls whose time argument can precede the engine's now.
+//
+// The framework is stdlib-only (go/ast, go/types, go/importer) because the
+// build environment is hermetic; the API mirrors x/tools closely enough
+// that the passes could be ported to a real multichecker by swapping the
+// driver.
+//
+// Deliberate exceptions are encoded in the source as
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above it; the driver drops matching
+// diagnostics. Hot-path roots are declared with //lint:hotpath on the
+// function's doc comment.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static-analysis pass. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and lint:ignore directives.
+	Name string
+	// Doc is the one-paragraph description shown by lintcheck -help.
+	Doc string
+	// Run inspects one type-checked package via the Pass and reports
+	// findings through it.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding: a position plus a message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package into an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// All returns the full suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{FrameLease, HotPathAlloc, DetOrder, SimTime}
+}
+
+// RunAnalyzers applies each analyzer to the package, filters diagnostics
+// through the package's lint:ignore directives, and returns the survivors
+// sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	diags = Suppress(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// ignoreDirective is one //lint:ignore in a file.
+type ignoreDirective struct {
+	line     int    // line the directive's comment starts on
+	analyzer string // analyzer name or "all"
+}
+
+// ignoresIn extracts lint:ignore directives from a file. A directive
+// suppresses matching diagnostics on its own line (trailing comment) and
+// on the following line (comment above the statement).
+func ignoresIn(fset *token.FileSet, f *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "lint:ignore")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				// A bare lint:ignore without analyzer+reason is malformed;
+				// refusing to honour it keeps reasons mandatory.
+				continue
+			}
+			out = append(out, ignoreDirective{
+				line:     fset.Position(c.Pos()).Line,
+				analyzer: fields[0],
+			})
+		}
+	}
+	return out
+}
+
+// Suppress drops diagnostics covered by a lint:ignore directive in their
+// file. Exported so the analysistest harness applies the exact production
+// suppression path.
+func Suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+	}
+	covered := make(map[key][]string)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		for _, d := range ignoresIn(pkg.Fset, f) {
+			covered[key{name, d.line}] = append(covered[key{name, d.line}], d.analyzer)
+			covered[key{name, d.line + 1}] = append(covered[key{name, d.line + 1}], d.analyzer)
+		}
+	}
+	if len(covered) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		names := covered[key{pos.Filename, pos.Line}]
+		suppressed := false
+		for _, n := range names {
+			if n == "all" || n == d.Analyzer {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// --- shared type/AST helpers used by the passes ---
+
+// namedType unwraps pointers and returns the *types.Named beneath t, or
+// nil.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamedFrom reports whether t (possibly behind pointers) is the named
+// type `name` declared in a package whose path is pkgPath or ends in
+// "/"+pkgPath. Matching by path suffix lets the analysistest corpora
+// declare miniature stand-ins (package "wire" under testdata) that the
+// passes recognise exactly like the real osnt/internal/wire.
+func isNamedFrom(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Name() != name {
+		return false
+	}
+	p := n.Obj().Pkg().Path()
+	return p == pkgPath || strings.HasSuffix(p, "/"+pkgPath)
+}
+
+// pkgPathMatches reports whether path is exactly want or ends in "/"+want.
+func pkgPathMatches(path, want string) bool {
+	return path == want || strings.HasSuffix(path, "/"+want)
+}
+
+// calleeFunc resolves the *types.Func a call statically invokes (plain
+// function or method), or nil for indirect calls, conversions and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn(...).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// receiverExpr returns the receiver expression of a method call selector,
+// or nil.
+func receiverExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// funcDocHas reports whether the function declaration carries the given
+// //lint: directive (e.g. "hotpath") in its doc comment or on the line
+// directly above its declaration.
+func funcDocHas(decl *ast.FuncDecl, directive string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	want := "lint:" + directive
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// constInt64 extracts an int64 from a constant value when it is exactly
+// representable.
+func constInt64(v constant.Value) (int64, bool) {
+	return constant.Int64Val(constant.ToInt(v))
+}
+
+// wantRe is the comment syntax understood by the analysistest harness; it
+// lives here so the harness and the self-documentation stay in sync.
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)

@@ -1,0 +1,189 @@
+// Package analysistest runs an analyzer over a corpus package under
+// testdata/src and checks its diagnostics against // want annotations, the
+// same contract as golang.org/x/tools/go/analysis/analysistest:
+//
+//	f := pool.Get(64) // want "not released"
+//
+// Each want string is a regular expression that must match a diagnostic
+// reported on that line; every diagnostic must be matched by a want and
+// every want must be matched by a diagnostic. lint:ignore directives are
+// honoured through the production suppression path, so corpora also pin
+// the escape-hatch behaviour.
+//
+// Corpus packages import their dependencies by bare path ("wire", "sim"):
+// those resolve to sibling directories under testdata/src, so the corpora
+// carry miniature stand-ins for the real osnt packages and stay
+// self-contained. Standard-library imports resolve normally.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"osnt/internal/analysis"
+)
+
+// Run loads testdata/src/<pkg> for each named package (relative to dir,
+// typically "testdata") and applies the analyzer, comparing diagnostics
+// against // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	for _, name := range pkgs {
+		ld := &loader{
+			src:    src,
+			fset:   token.NewFileSet(),
+			loaded: map[string]*analysis.Package{},
+		}
+		ld.std = importer.ForCompiler(ld.fset, "source", nil)
+		pkg, err := ld.load(name)
+		if err != nil {
+			t.Fatalf("loading corpus %s: %v", name, err)
+		}
+		diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, name, err)
+		}
+		check(t, a.Name, name, ld.fset, pkg, diags)
+	}
+}
+
+// loader resolves corpus-local imports to sibling testdata/src packages
+// and everything else to the standard library.
+type loader struct {
+	src    string
+	fset   *token.FileSet
+	std    types.Importer
+	loaded map[string]*analysis.Package
+}
+
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		if _, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(ipath))); err == nil {
+			dep, err := l.load(ipath)
+			if err != nil {
+				return nil, err
+			}
+			return dep.Types, nil
+		}
+		return l.std.Import(ipath)
+	})}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &analysis.Package{
+		PkgPath: path,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// want is one expectation parsed from a corpus comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRe matches a want directive; quotedRe then pulls out each quoted
+// expectation, so one comment can carry several: // want "a" "b".
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+	quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// check compares diagnostics against the corpus's want annotations.
+func check(t *testing.T, analyzer, corpus string, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		filename := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(q[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), q[1], err)
+						}
+						wants = append(wants, &want{
+							file: filename,
+							line: fset.Position(c.Pos()).Line,
+							re:   re,
+						})
+					}
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: [%s/%s] unexpected diagnostic: %s", pos, analyzer, corpus, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: [%s/%s] expected diagnostic matching %q, got none", w.file, w.line, analyzer, corpus, w.re)
+		}
+	}
+}

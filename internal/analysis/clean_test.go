@@ -1,0 +1,25 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"osnt/internal/analysis"
+)
+
+// TestTreeIsClean is the contract gate itself: the full suite must report
+// nothing on the real tree. A regression here is a leaked frame, a hot-path
+// allocation, a nondeterminism source, or a sim.Time hygiene violation
+// introduced by a PR — exactly what cmd/lintcheck fails CI for, run from
+// inside go test so `go test ./...` alone already enforces the contracts.
+func TestTreeIsClean(t *testing.T) {
+	diags, fset, err := analysis.SelfCheck(".")
+	if err != nil {
+		t.Fatalf("SelfCheck: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		t.Logf("%d diagnostics — fix them or encode deliberate exceptions as //lint:ignore <analyzer> <reason>", len(diags))
+	}
+}

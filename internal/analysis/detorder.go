@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetOrder enforces byte-identical determinism in the internal simulation
+// packages: results must not depend on map iteration order, wall-clock
+// time, the global math/rand stream, or the runtime's random select pick.
+// It reports:
+//
+//   - range over a map, unless the loop body is provably order-insensitive:
+//     it only accumulates into integer counters, copies into another map,
+//     deletes keys, or collects keys/values into a slice that the same
+//     function later sorts (the sorted-key-iteration idiom);
+//   - calls to time.Now / time.Since and timer construction — simulated
+//     components read the sim.Engine clock;
+//   - any use of math/rand or math/rand/v2 — per-component sim.Rand
+//     streams are seeded and deterministic;
+//   - select statements with two or more communication cases (the runtime
+//     picks a ready case pseudo-randomly).
+//
+// Deliberately order-free output (e.g. an order-insensitive checksum) is
+// annotated //lint:ignore detorder <reason>.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc: "report nondeterminism sources (map-order iteration, wall clock, " +
+		"global rand, multi-way select) in internal simulation packages",
+	Run: runDetOrder,
+}
+
+// detOrderScope reports whether the package is held to the determinism
+// contract: everything under internal/ (plus the analysistest corpora,
+// whose synthetic packages have bare paths).
+func detOrderScope(path string) bool {
+	return strings.Contains(path, "/internal/") || !strings.Contains(path, "/")
+}
+
+func runDetOrder(pass *Pass) error {
+	if !detOrderScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Walk function by function so the sorted-later heuristic can scan
+		// the enclosing body.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkDetBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // analysed as its own body by the caller
+
+		case *ast.RangeStmt:
+			t, ok := info.Types[x.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := t.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if !orderInsensitiveBody(info, body, x) {
+				pass.Reportf(x.Pos(), "map iteration order is nondeterministic; collect and sort the keys (or prove order-insensitivity and lint:ignore with the reason)")
+			}
+			return true
+
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() + "." + fn.Name() {
+				case "time.Now", "time.Since", "time.NewTimer", "time.NewTicker", "time.After", "time.Tick":
+					pass.Reportf(x.Pos(), "wall-clock %s.%s in a simulation package; use the sim.Engine virtual clock", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if pn, ok := info.Uses[id].(*types.PkgName); ok {
+					switch pn.Imported().Path() {
+					case "math/rand", "math/rand/v2":
+						pass.Reportf(x.Pos(), "global %s stream is nondeterministic across runs and workers; use a seeded sim.Rand", pn.Imported().Path())
+					}
+				}
+			}
+			return true
+
+		case *ast.SelectStmt:
+			comm := 0
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					comm++
+				}
+			}
+			if comm >= 2 {
+				pass.Reportf(x.Pos(), "select with %d communication cases resolves nondeterministically when several are ready", comm)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// orderInsensitiveBody reports whether a map-range body cannot leak the
+// iteration order: every statement either accumulates into an integer
+// (order-commutative), writes into another map, deletes map keys, or
+// appends keys/values into slices that the enclosing function later
+// sorts.
+func orderInsensitiveBody(info *types.Info, enclosing *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	var collected []types.Object // slices built up inside the loop
+	for _, s := range rng.Body.List {
+		switch st := s.(type) {
+		case *ast.IncDecStmt:
+			if !isIntegerExpr(info, st.X) {
+				return false
+			}
+
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return false
+			}
+			lhs, rhs := st.Lhs[0], st.Rhs[0]
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+				// Commutative-fold accumulation is order-free for integers
+				// (float addition is not associative: order leaks into the
+				// low bits).
+				if !isIntegerExpr(info, lhs) {
+					return false
+				}
+			case token.ASSIGN, token.DEFINE:
+				// m2[k] = v — building another map is order-free.
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if t, ok := info.Types[ix.X]; ok {
+						if _, isMap := t.Type.Underlying().(*types.Map); isMap {
+							continue
+						}
+					}
+					return false
+				}
+				// s = append(s, …) — order-free only if s is sorted later.
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					return false
+				}
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				funID, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || funID.Name != "append" {
+					return false
+				}
+				o := info.Uses[id]
+				if o == nil {
+					o = info.Defs[id]
+				}
+				if o == nil {
+					return false
+				}
+				collected = append(collected, o)
+			default:
+				return false
+			}
+
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					continue
+				}
+			}
+			return false
+
+		default:
+			return false
+		}
+	}
+	for _, o := range collected {
+		if !sortedLater(info, enclosing, rng, o) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedLater reports whether obj is passed to a sort.* / slices.Sort*
+// call (or a .Sort method) somewhere in the enclosing body after the range
+// loop.
+func sortedLater(info *types.Info, enclosing *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rng.End() {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Any call into sort/slices (sort.Strings, sort.Slice, slices.Sort,
+		// slices.SortFunc, …) or a method named Sort* counts.
+		isSort := strings.HasPrefix(fun.Sel.Name, "Sort")
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				p := pn.Imported().Path()
+				isSort = p == "sort" || p == "slices"
+			}
+		}
+		if !isSort {
+			return true
+		}
+		// The collected slice may appear as an argument (sort.Strings(keys),
+		// slices.Sort(keys)) or inside a closure argument (sort.Slice(keys,
+		// func(i, j int) bool {…})).
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return true
+	})
+	return found
+}
+
+// isIntegerExpr reports whether e's type is an integer kind.
+func isIntegerExpr(info *types.Info, e ast.Expr) bool {
+	t, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := t.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

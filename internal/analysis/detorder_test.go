@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"osnt/internal/analysis"
+	"osnt/internal/analysis/analysistest"
+)
+
+func TestDetOrderCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DetOrder, "detorder")
+}

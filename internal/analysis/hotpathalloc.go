@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// HotPathAlloc enforces the zero-alloc contract on declared hot paths. A
+// function becomes a hot-path root with a
+//
+//	//lint:hotpath
+//
+// line in its doc comment; the pass then treats every function in the same
+// package statically reachable from a root as hot as well (cross-package
+// edges are each package's responsibility: annotate the callee's entry
+// point too). Inside hot functions it flags the constructs that defeat the
+// pooled, allocation-free steady state:
+//
+//   - closure literals (each escaping literal is a heap allocation),
+//   - method-value expressions (x.M used as a value allocates a bound
+//     closure),
+//   - map/chan construction and map or pointer composite literals, new(),
+//     and make of slices (growth belongs in cold setup paths),
+//   - append to a function-local slice (per-call growth; append into a
+//     reused field or buffer passed in from outside amortises instead),
+//   - fmt.* calls and interface boxing of non-pointer values (the classic
+//     hidden allocations),
+//   - non-constant string concatenation.
+//
+// Cold exceptions inside a hot function (first-use buffer growth, fatal
+// paths) are annotated //lint:ignore hotpathalloc <reason>.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "report allocation-inducing constructs in functions reachable from " +
+		"//lint:hotpath roots",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Map package-level functions/methods to their declarations.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if funcDocHas(fd, "hotpath") {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Same-package static call graph. Method values and function
+	// references count as edges too: a hot path that binds x.M will run M.
+	callees := func(fd *ast.FuncDecl) []*types.Func {
+		var out []*types.Func
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, x); fn != nil && fn.Pkg() == pass.Pkg {
+					if _, local := decls[fn]; local {
+						out = append(out, fn)
+					}
+				}
+			case *ast.Ident:
+				if fn, ok := info.Uses[x].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+					if _, local := decls[fn]; local {
+						out = append(out, fn)
+					}
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+					if fn, ok := sel.Obj().(*types.Func); ok && fn.Pkg() == pass.Pkg {
+						if _, local := decls[fn]; local {
+							out = append(out, fn)
+						}
+					}
+				}
+			}
+			return true
+		})
+		return out
+	}
+
+	reachable := map[*types.Func]bool{}
+	work := append([]*types.Func(nil), roots...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if reachable[fn] {
+			continue
+		}
+		reachable[fn] = true
+		for _, callee := range callees(decls[fn]) {
+			if !reachable[callee] {
+				work = append(work, callee)
+			}
+		}
+	}
+
+	hot := make([]*types.Func, 0, len(reachable))
+	for fn := range reachable {
+		hot = append(hot, fn)
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].Pos() < hot[j].Pos() })
+
+	for _, fn := range hot {
+		checkHotBody(pass, fn.Name(), decls[fn])
+	}
+	return nil
+}
+
+// checkHotBody flags allocation-inducing constructs inside one hot
+// function.
+func checkHotBody(pass *Pass, name string, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Call-position selectors (x.M() rather than the allocating value x.M)
+	// and panic arguments (fatal, not hot) are exempt.
+	calleePos := map[ast.Expr]bool{}
+	inPanic := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			calleePos[ast.Unparen(call.Fun)] = true
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				for _, a := range call.Args {
+					inPanic[a] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// localSlices are slices declared inside this function; appending to
+	// one grows per call instead of amortising into a reused buffer.
+	localObjs := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if o := info.Defs[id]; o != nil {
+				localObjs[o] = true
+			}
+		}
+		return true
+	})
+
+	var skip func(n ast.Node) bool
+	skipRoots := map[ast.Node]bool{}
+	skip = func(n ast.Node) bool { return skipRoots[n] }
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if skip(n) {
+			return false
+		}
+		if inPanic[n] {
+			// The whole argument subtree of a panic is a fatal path.
+			skipRoots[n] = true
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "closure literal in hot path %s allocates", name)
+			return false
+
+		case *ast.SelectorExpr:
+			if calleePos[x] {
+				return true
+			}
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+				pass.Reportf(x.Pos(), "method value .%s in hot path %s allocates a bound closure", x.Sel.Name, name)
+			}
+			return true
+
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "pointer composite literal in hot path %s heap-allocates", name)
+					return false
+				}
+			}
+			return true
+
+		case *ast.CompositeLit:
+			if t, ok := info.Types[x]; ok {
+				if _, isMap := t.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(x.Pos(), "map literal in hot path %s allocates", name)
+					return false
+				}
+			}
+			return true
+
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if t, ok := info.Types[x]; ok && !isConstant(info, x) {
+					if b, ok := t.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(x.Pos(), "string concatenation in hot path %s allocates", name)
+					}
+				}
+			}
+			return true
+
+		case *ast.CallExpr:
+			checkHotCall(pass, info, name, x, localObjs)
+			return true
+		}
+		return true
+	})
+}
+
+// checkHotCall flags allocating calls: builtins (make map/chan/slice, new,
+// append-to-local), fmt.*, and interface boxing of non-pointer arguments.
+func checkHotCall(pass *Pass, info *types.Info, name string, call *ast.CallExpr, localObjs map[types.Object]bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				if len(call.Args) > 0 {
+					if t, ok := info.Types[call.Args[0]]; ok {
+						switch t.Type.Underlying().(type) {
+						case *types.Map:
+							pass.Reportf(call.Pos(), "make(map) in hot path %s allocates", name)
+						case *types.Chan:
+							pass.Reportf(call.Pos(), "make(chan) in hot path %s allocates", name)
+						case *types.Slice:
+							pass.Reportf(call.Pos(), "make of a slice in hot path %s allocates; hoist the buffer", name)
+						}
+					}
+				}
+			case "new":
+				pass.Reportf(call.Pos(), "new() in hot path %s heap-allocates", name)
+			case "append":
+				if len(call.Args) > 0 {
+					if target, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+						if o := info.Uses[target]; o != nil && localObjs[o] {
+							pass.Reportf(call.Pos(), "append to function-local slice %s in hot path %s grows per call; reuse a buffer owned by the caller or a field", target.Name, name)
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path %s allocates (formatting boxes its operands)", fn.Name(), name)
+		return
+	}
+
+	// Interface boxing: concrete non-pointer arguments passed to interface
+	// parameters allocate when they escape into the interface value.
+	sigT, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := sigT.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type()
+			if s, ok := pt.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.Value != nil { // constants are interned or folded
+			continue
+		}
+		switch at.Type.Underlying().(type) {
+		case *types.Interface, *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+			continue // word-sized referents: no boxing allocation
+		}
+		if at.IsNil() {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes a non-pointer value into an interface in hot path %s", name)
+	}
+}
+
+// isConstant reports whether the expression folded to a constant.
+func isConstant(info *types.Info, e ast.Expr) bool {
+	t, ok := info.Types[e]
+	return ok && t.Value != nil
+}

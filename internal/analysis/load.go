@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package — the unit the analyzers
+// consume.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// newInfo allocates the types.Info maps every pass needs.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// FindModuleRoot walks upward from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if p, err := strconv.Unquote(rest); err == nil {
+				return p, nil
+			}
+			return rest, nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// LoadModule parses and type-checks every package in the module rooted at
+// root (skipping testdata, hidden and underscore directories, and _test.go
+// files) in dependency order, so each local package is checked exactly
+// once and imports resolve from the in-memory results. Standard-library
+// imports resolve through the compiler's source importer, which needs no
+// network or module cache — the build environment is hermetic.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+
+	// Pass 1: parse every candidate package directory.
+	type parsed struct {
+		dir     string
+		pkgPath string
+		files   []*ast.File
+		imports map[string]bool
+	}
+	byPath := make(map[string]*parsed)
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p := byPath[pkgPath]
+		if p == nil {
+			p = &parsed{dir: dir, pkgPath: pkgPath, imports: make(map[string]bool)}
+			byPath[pkgPath] = p
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if !buildIncluded(file) {
+			return nil
+		}
+		p.files = append(p.files, file)
+		for _, imp := range file.Imports {
+			if ipath, err := strconv.Unquote(imp.Path.Value); err == nil {
+				p.imports[ipath] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: topological order over module-local imports.
+	order := make([]string, 0, len(byPath))
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		p := byPath[path]
+		deps := make([]string, 0, len(p.imports))
+		for dep := range p.imports {
+			deps = append(deps, dep)
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if byPath[dep] == nil {
+				continue
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	roots := make([]string, 0, len(byPath))
+	for path := range byPath {
+		roots = append(roots, path)
+	}
+	sort.Strings(roots)
+	for _, path := range roots {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass 3: type-check in order. Local packages resolve from the memo;
+	// everything else (stdlib) goes through the source importer.
+	std := importer.ForCompiler(fset, "source", nil)
+	local := make(map[string]*types.Package)
+	imp := &memoImporter{std: std, local: local}
+	var out []*Package
+	for _, path := range order {
+		p := byPath[path]
+		// Deterministic file order: parser map order is already stable here
+		// because WalkDir visits lexically, but sort defensively by name.
+		sort.Slice(p.files, func(i, j int) bool {
+			return fset.Position(p.files[i].Pos()).Filename < fset.Position(p.files[j].Pos()).Filename
+		})
+		info := newInfo()
+		conf := types.Config{Importer: imp, FakeImportC: true}
+		tpkg, err := conf.Check(path, fset, p.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+		}
+		local[path] = tpkg
+		out = append(out, &Package{
+			PkgPath: path,
+			Dir:     p.dir,
+			Fset:    fset,
+			Files:   p.files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return out, nil
+}
+
+// buildIncluded evaluates a file's //go:build constraint (if any) against
+// the host platform with no extra tags — the same view `go build ./...`
+// takes on a plain invocation, so tag-gated variants (race_on.go/
+// race_off.go) don't collide in the type checker.
+func buildIncluded(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		// Constraints must precede the package clause.
+		if cg.Pos() >= file.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed: let the go tool complain, not us
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH, "gc", "unix":
+					return tag != "unix" || isUnixGOOS()
+				}
+				// Release tags: go1.1 … through the toolchain's version are
+				// all satisfied; approximated as "any go1.x" since this
+				// module's floor is far below the running toolchain.
+				return strings.HasPrefix(tag, "go1")
+			})
+		}
+	}
+	return true
+}
+
+func isUnixGOOS() bool {
+	switch runtime.GOOS {
+	case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "dragonfly", "illumos", "ios":
+		return true
+	}
+	return false
+}
+
+// memoImporter serves module-local packages from the in-memory memo and
+// defers the rest to the source importer.
+type memoImporter struct {
+	std   types.Importer
+	local map[string]*types.Package
+}
+
+func (m *memoImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.local[path]; ok {
+		return pkg, nil
+	}
+	return m.std.Import(path)
+}
+
+// SelfCheck loads the module containing dir (defaulting to the current
+// directory) and runs the full suite, returning all diagnostics. It is the
+// shared engine behind cmd/lintcheck, the clean-tree regression test, and
+// the benchgate LintCheckSelf timing entry.
+func SelfCheck(dir string) ([]Diagnostic, *token.FileSet, error) {
+	if dir == "" {
+		dir = "."
+	}
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		diags, err := RunAnalyzers(pkg, All())
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, fset, nil
+}

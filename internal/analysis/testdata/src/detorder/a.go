@@ -1,0 +1,140 @@
+// Package detorder is the corpus for the determinism analyzer: map ranges
+// that feed output versus the sanctioned sorted-key / accumulation /
+// map-copy idioms, wall-clock reads, global math/rand, and multi-way
+// selects.
+package detorder
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// emitUnsorted leaks map order straight into output.
+func emitUnsorted(m map[string]int, emit func(string, int)) {
+	for k, v := range m { // want "map iteration order is nondeterministic"
+		emit(k, v)
+	}
+}
+
+// emitSorted is the sanctioned idiom: collect, sort, iterate.
+func emitSorted(m map[string]int, emit func(string, int)) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k, m[k])
+	}
+}
+
+// collectedNeverSorted gathers keys but forgets the sort: order still
+// leaks.
+func collectedNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is nondeterministic"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortSliceLater sorts through a comparator closure; still sanctioned.
+func sortSliceLater(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// integerFold is order-free: integer accumulation commutes.
+func integerFold(m map[string]uint64) uint64 {
+	var total uint64
+	n := 0
+	for _, v := range m {
+		total += v
+		n++
+	}
+	return total / uint64(n+1)
+}
+
+// floatFold is NOT order-free: float addition is not associative, so the
+// low bits depend on iteration order.
+func floatFold(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		total += v
+	}
+	return total
+}
+
+// mapCopy builds another map: order-free.
+func mapCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// pruneInPlace deletes during iteration: order-free.
+func pruneInPlace(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// branchingBody is order-sensitive (first-wins tie-breaking depends on
+// iteration order) and must be reported.
+func branchingBody(m map[string]int) string {
+	best := ""
+	bestV := -1
+	for k, v := range m { // want "map iteration order is nondeterministic"
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	return best
+}
+
+// ignoredRange is deliberately order-free in a way the analyzer cannot
+// prove; the directive carries the argument.
+func ignoredRange(m map[string]int, addCommutative func(int)) {
+	//lint:ignore detorder the sink folds with a commutative operation
+	for _, v := range m {
+		addCommutative(v)
+	}
+}
+
+// wallClock reads real time inside a simulation package.
+func wallClock() int64 {
+	t := time.Now() // want "wall-clock time.Now in a simulation package"
+	return t.UnixNano()
+}
+
+// globalRand uses the process-wide stream.
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand stream is nondeterministic"
+}
+
+// multiSelect races two ready channels.
+func multiSelect(a, b chan int) int {
+	select { // want "select with 2 communication cases"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// singleSelectWithDefault is a deterministic non-blocking poll.
+func singleSelectWithDefault(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,89 @@
+// Package hotpath is the corpus for the hot-path allocation analyzer:
+// //lint:hotpath roots, same-package reachability, and each flagged
+// allocation construct, plus the cold-path ignore idiom.
+package hotpath
+
+import "fmt"
+
+type ring struct {
+	buf  []int
+	svc  func()
+	stat uint64
+}
+
+// drain is a declared hot-path root.
+//
+//lint:hotpath
+func (r *ring) drain(n int) {
+	for i := 0; i < n; i++ {
+		r.step(i)
+	}
+	cb := r.service // want "method value .service .* allocates a bound closure"
+	cb()
+}
+
+// step is hot by reachability from drain, not by annotation.
+func (r *ring) step(i int) {
+	f := func() { r.stat++ } // want "closure literal in hot path step allocates"
+	f()
+	m := map[int]int{} // want "map literal in hot path step allocates"
+	m[i] = i
+	s := fmt.Sprint(i) // want "fmt.Sprint in hot path step allocates"
+	_ = s
+	var local []int
+	local = append(local, i)        // want "append to function-local slice local in hot path step"
+	r.buf = append(r.buf, local...) // amortised reuse into a field: allowed
+}
+
+// service is hot via the method value in drain.
+func (r *ring) service() {
+	r.stat++
+}
+
+// grow is hot and carries a deliberate cold-path exception.
+//
+//lint:hotpath
+func (r *ring) grow(n int) {
+	if cap(r.buf) < n {
+		//lint:ignore hotpathalloc cold path: first use grows the buffer, steady state reuses it
+		r.buf = make([]int, n)
+	}
+	r.buf = r.buf[:n]
+}
+
+// boxing passes a non-pointer value into an interface parameter.
+//
+//lint:hotpath
+func (r *ring) boxing(sink func(any)) {
+	sink(r.stat) // want "boxes a non-pointer value into an interface in hot path boxing"
+	sink(r)      // pointer: no boxing allocation
+}
+
+// concat builds a string per call.
+//
+//lint:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation in hot path concat allocates"
+}
+
+// coldSetup is NOT hot: identical constructs go unflagged.
+func coldSetup(n int) []int {
+	m := map[int]int{}
+	for i := 0; i < n; i++ {
+		m[i] = i
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, m[i])
+	}
+	return out
+}
+
+// fatal allocates only on the panic path, which is exempt.
+//
+//lint:hotpath
+func fatal(ok bool, code int) {
+	if !ok {
+		panic(fmt.Sprintf("bad code %d", code))
+	}
+}

@@ -1,0 +1,35 @@
+// Package sim is a miniature stand-in for osnt/internal/sim: the Time /
+// Duration named types and the Engine scheduling surface the simtime
+// corpus exercises. Matched by package name + type name, like the real
+// package.
+package sim
+
+// Time is an instant in virtual picoseconds.
+type Time int64
+
+// Duration is a span of virtual picoseconds.
+type Duration int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Event is a scheduled callback.
+type Event struct{}
+
+// Engine is the discrete-event scheduler.
+type Engine struct{ now Time }
+
+// Now returns the current virtual instant.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at instant at.
+func (e *Engine) Schedule(at Time, fn func()) *Event { return &Event{} }
+
+// Reschedule re-arms ev for instant at.
+func (e *Engine) Reschedule(ev *Event, at Time) {}
+
+// ScheduleEvery runs fn every period starting at t0.
+func (e *Engine) ScheduleEvery(t0 Time, period Duration, fn func()) {}

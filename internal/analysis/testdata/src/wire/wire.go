@@ -1,0 +1,51 @@
+// Package wire is a miniature stand-in for osnt/internal/wire: just enough
+// surface (Pool.Get/GetTrain, Frame.Release/Clone, Train.Recycle, transfer
+// sinks) for the framelease corpus. The analyzers match these by package
+// name + type name, exactly as they match the real package.
+package wire
+
+// Frame is a pooled packet buffer.
+type Frame struct {
+	Data []byte
+	Size int
+	pool *Pool
+}
+
+// Release returns the frame to its pool.
+func (f *Frame) Release() {}
+
+// Clone returns an unpooled copy.
+func (f *Frame) Clone() *Frame { return &Frame{Data: append([]byte(nil), f.Data...)} }
+
+// CopyFrom overwrites f with src's bytes.
+func (f *Frame) CopyFrom(src *Frame) {}
+
+// Train is a pooled batch of frames.
+type Train struct {
+	Frames []*Frame
+	pool   *Pool
+}
+
+// Release releases every frame and the container.
+func (t *Train) Release() {}
+
+// Recycle returns only the container.
+func (t *Train) Recycle() {}
+
+// Pool recycles frames and trains.
+type Pool struct{}
+
+// Get returns a pooled frame sized to n bytes.
+func (p *Pool) Get(n int) *Frame { return &Frame{Data: make([]byte, n), pool: p} }
+
+// GetTrain returns a pooled train container.
+func (p *Pool) GetTrain() *Train { return &Train{pool: p} }
+
+// Link is a transfer sink.
+type Link struct{}
+
+// Transmit takes ownership of f.
+func (l *Link) Transmit(f *Frame) {}
+
+// TransmitTrain takes ownership of t.
+func (l *Link) TransmitTrain(t *Train) {}

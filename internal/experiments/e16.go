@@ -114,7 +114,7 @@ func E16LossAttribution(duration sim.Duration) *stats.Table {
 		const runts, hairpins = uint64(e16Injections), uint64(e16Injections)
 		step := sim.Duration(int64(duration) / e16Injections)
 		for k := 0; k < e16Injections; k++ {
-			at := sim.Time(step) * sim.Time(k)
+			at := sim.After(step * sim.Duration(k))
 			e.Schedule(at, func() { txPort.Enqueue(wire.NewFrame(make([]byte, 8))) })
 			e.Schedule(at.Add(step/2), func() { txPort.Enqueue(wire.NewFrame(hairpinData)) })
 		}

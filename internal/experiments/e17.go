@@ -295,7 +295,7 @@ func FlowTableMicroBench() uint64 {
 	tracked := uint64(0)
 	for i := 0; i < samples; i++ {
 		d := packet.Mix64(uint64(i%512) + 1)
-		tx := timing.FromSim(sim.Time(i) * sim.Time(100*sim.Nanosecond))
+		tx := timing.FromSim(sim.After(sim.Duration(i) * 100 * sim.Nanosecond))
 		if ft.Observe(flowstats.Sample{Digest: d, TxTS: tx, HasTx: true, RxTS: tx.Add(sim.Microsecond), Wire: 64}) {
 			tracked++
 		}

@@ -197,7 +197,7 @@ func E2ClockDiscipline(duration sim.Duration) *stats.Table {
 	// within a second) figure.
 	step := sim.Duration(duration / 8)
 	for i := 1; i <= 8; i++ {
-		target := sim.Time(step)*sim.Time(i) + sim.Time(500*sim.Millisecond)
+		target := sim.After(step*sim.Duration(i) + 500*sim.Millisecond)
 		e.RunUntil(target)
 		now := e.Now()
 		freeErr := absDur(free.DeviceTimeAt(now).Sub(now))

@@ -393,6 +393,10 @@ func (g *Generator) Stop() {
 	}
 }
 
+// emit pulls one frame from the source and hands it to the MAC, then
+// re-arms itself — the per-packet steady state of the generator.
+//
+//lint:hotpath
 func (g *Generator) emit() {
 	if !g.running {
 		return
@@ -447,6 +451,8 @@ func (g *Generator) emit() {
 // spacing draws is exactly the per-frame path's (frame, then its gap),
 // so a run formed here is bit- and time-identical to what N per-frame
 // emissions would have produced; only the event count differs.
+//
+//lint:hotpath
 func (g *Generator) emitTrain() {
 	e := g.port.Card().Engine
 	until := g.cfg.Until

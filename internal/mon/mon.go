@@ -658,6 +658,8 @@ func (q *queue) getBuf(n int) []byte {
 
 // drain models this queue's host core consuming the ring one record at
 // a time.
+//
+//lint:hotpath
 func (q *queue) drain() {
 	if q.draining || len(q.ring) == q.head {
 		return
@@ -666,6 +668,7 @@ func (q *queue) drain() {
 	cost := q.perPacket + sim.Duration(len(q.ring[q.head].Data))*q.perByte
 	q.nextFinish = q.m.eng.Now().Add(cost)
 	if q.drainEv == nil {
+		//lint:ignore hotpathalloc one-time event creation per queue; steady state reprograms
 		q.drainEv = q.m.eng.Schedule(q.nextFinish, q.drainDone)
 	} else {
 		// Reprogram rather than Reschedule: a train admission may have
@@ -704,6 +707,8 @@ func (q *queue) deliverHead(doneAt sim.Time) {
 
 // drainDone is the DMA-completion handler for the record at the ring
 // head.
+//
+//lint:hotpath
 func (q *queue) drainDone() {
 	q.deliverHead(q.m.eng.Now())
 	q.draining = false

@@ -163,6 +163,8 @@ func (p *Port) Link() *wire.Link { return p.txLink }
 // Enqueue places a frame on the TX queue. It reports false (and counts a
 // drop) when the queue is full — software offered more than line rate for
 // longer than the queue can absorb.
+//
+//lint:hotpath
 func (p *Port) Enqueue(f *wire.Frame) bool {
 	if p.txLink == nil {
 		panic(fmt.Sprintf("netfpga: port %d transmit with no link attached", p.index))
@@ -190,6 +192,8 @@ func (p *Port) TxIdle() bool { return !p.txBusy && p.txq.Len() == 0 }
 // checked TxIdle — coalescing a run through a busy MAC would reorder it
 // against queued frames, so that is a contract violation, not a
 // recoverable condition.
+//
+//lint:hotpath
 func (p *Port) EnqueueTrain(t *wire.Train) {
 	if p.txLink == nil {
 		panic(fmt.Sprintf("netfpga: port %d transmit with no link attached", p.index))
@@ -218,12 +222,17 @@ func (p *Port) EnqueueTrain(t *wire.Train) {
 	end := p.txLink.TransmitTrain(t, e.Now())
 	p.txBusy = true
 	if p.txDoneEv == nil {
+		//lint:ignore hotpathalloc one-time event creation per port; steady state reschedules
 		p.txDoneEv = e.Schedule(end, p.txDone)
 	} else {
 		e.Reschedule(p.txDoneEv, end)
 	}
 }
 
+// trySend latches and serialises the head of the TX queue when the MAC
+// is free.
+//
+//lint:hotpath
 func (p *Port) trySend() {
 	if p.txBusy || p.txq.Len() == 0 {
 		return
@@ -241,6 +250,7 @@ func (p *Port) trySend() {
 	p.card.Regs.AddAt(p.regTxPackets, 1)
 	p.card.Regs.AddAt(p.regTxBytes, uint64(f.Size))
 	if p.txDoneEv == nil {
+		//lint:ignore hotpathalloc one-time event creation per port; steady state reschedules
 		p.txDoneEv = p.card.Engine.Schedule(end, p.txDone)
 	} else {
 		p.card.Engine.Reschedule(p.txDoneEv, end)
@@ -257,6 +267,8 @@ func (p *Port) txDone() {
 // The card port is a terminal endpoint, so pooled frames are released
 // once OnReceive returns; hooks that keep the bytes past the callback
 // must copy them (the monitor's capture ring does).
+//
+//lint:hotpath
 func (p *Port) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
 	ts := p.card.Clock.Now(at)
 	p.rxStats.Add(wire.WireBytes(f.Size))
@@ -274,6 +286,8 @@ func (p *Port) Receive(f *wire.Frame, _ sim.Time, at sim.Time) {
 // consumer when an OnReceiveTrain hook is attached, or by the unbundling
 // loop below — so a stateful clock observes exactly the per-frame
 // sequence of latch calls.
+//
+//lint:hotpath
 func (p *Port) ReceiveTrain(t *wire.Train, start, at sim.Time) {
 	var sizes uint64
 	for _, f := range t.Frames {

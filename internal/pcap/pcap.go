@@ -112,9 +112,9 @@ func (p *Reader) Next() (Record, error) {
 	}
 	var ts sim.Time
 	if p.nano {
-		ts = sim.Time(sec)*sim.Time(sim.Second) + sim.Time(frac)*sim.Time(sim.Nanosecond)
+		ts = sim.After(sim.Duration(sec)*sim.Second + sim.Duration(frac)*sim.Nanosecond)
 	} else {
-		ts = sim.Time(sec)*sim.Time(sim.Second) + sim.Time(frac)*sim.Time(sim.Microsecond)
+		ts = sim.After(sim.Duration(sec)*sim.Second + sim.Duration(frac)*sim.Microsecond)
 	}
 	return Record{TS: ts, Data: data, OrigLen: int(origLen)}, nil
 }

@@ -31,11 +31,29 @@ const (
 	Second               = 1000 * Millisecond
 )
 
+// Epoch is the simulation start instant, t = 0.
+const Epoch Time = 0
+
+// After returns the instant d past the simulation epoch — the sanctioned
+// conversion from a duration-since-start to an instant (rather than raw
+// arithmetic mixing Time and Duration representations).
+func After(d Duration) Time { return Epoch.Add(d) }
+
 // Add returns the instant d after t.
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 
 // Sub returns the duration t-u.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Truncate rounds t down to the previous multiple of d — the start of the
+// enclosing whole second, timestamp-counter grid cell, etc. Non-positive d
+// returns t unchanged.
+func (t Time) Truncate(d Duration) Time {
+	if d <= 0 {
+		return t
+	}
+	return t - t%Time(d)
+}
 
 // Picoseconds returns t as an integer count of picoseconds.
 func (t Time) Picoseconds() int64 { return int64(t) }

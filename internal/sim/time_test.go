@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+// TestAfter pins the epoch-relative instant constructor that replaced raw
+// Time arithmetic at call sites (pcap decoding, experiment checkpoints,
+// CLI deadlines).
+func TestAfter(t *testing.T) {
+	if got := After(0); got != Epoch {
+		t.Fatalf("After(0) = %v, want epoch", got)
+	}
+	if got := After(3 * Second); got.Picoseconds() != 3*int64(Second) {
+		t.Fatalf("After(3s) = %d ps, want %d", got.Picoseconds(), 3*int64(Second))
+	}
+	if got := After(1500 * Nanosecond); got != Epoch.Add(1500*Nanosecond) {
+		t.Fatalf("After disagrees with Epoch.Add: %v", got)
+	}
+}
+
+// TestTruncate pins the grid-alignment helper that replaced the
+// t - t%sim.Time(d) idiom in the PPS servo and the timestamp quantizer.
+func TestTruncate(t *testing.T) {
+	cases := []struct {
+		t    Time
+		d    Duration
+		want Time
+	}{
+		{0, Second, 0},
+		{After(Second), Second, After(Second)},
+		{After(Second + 1), Second, After(Second)},
+		{After(2*Second - 1), Second, After(Second)},
+		{After(7 * Nanosecond), Duration(6250), After(6250 * Picosecond)}, // 6.25 ns stamp grid
+		{After(42 * Microsecond), 0, After(42 * Microsecond)},             // non-positive d: identity
+		{After(42 * Microsecond), -Second, After(42 * Microsecond)},
+	}
+	for _, c := range cases {
+		if got := c.t.Truncate(c.d); got != c.want {
+			t.Errorf("Truncate(%d, %d) = %d, want %d", c.t, c.d, got, c.want)
+		}
+	}
+}
+
+// TestTruncateNextBoundary pins the PPS-servo idiom: the next whole-second
+// edge strictly after now.
+func TestTruncateNextBoundary(t *testing.T) {
+	now := After(3*Second + 250*Millisecond)
+	next := now.Truncate(Second).Add(Second)
+	if want := After(4 * Second); next != want {
+		t.Fatalf("next PPS edge = %v, want %v", next, want)
+	}
+	// Exactly on an edge the next edge is a full second later.
+	now = After(5 * Second)
+	next = now.Truncate(Second).Add(Second)
+	if want := After(6 * Second); next != want {
+		t.Fatalf("next PPS edge from an edge = %v, want %v", next, want)
+	}
+}

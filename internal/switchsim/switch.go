@@ -329,6 +329,8 @@ func (s *Switch) MACTable() map[packet.MAC]int {
 // fires at the last bit; cut-through work is backdated to the header
 // window, which is sound because its effects — egress serialisation —
 // are themselves modelled with backdatable start times).
+//
+//lint:hotpath
 func (s *Switch) receive(p *Port, f *wire.Frame, firstBit, lastBit sim.Time) {
 	// Earliest instant the lookup may begin, by forwarding mode. The
 	// header window is timed at the ingress port's own rate: on a
@@ -450,6 +452,8 @@ func (s *Switch) trainViable(p *Port, t *wire.Train, at sim.Time) bool {
 
 // receiveTrain admits a guard-checked uniform run as one lookup-FIFO
 // entry drained by one event.
+//
+//lint:hotpath
 func (s *Switch) receiveTrain(p *Port, t *wire.Train, at sim.Time) {
 	n := len(t.Frames)
 	size := t.Frames[0].Size
@@ -478,6 +482,7 @@ func (p *Port) armLookup(ready sim.Time) {
 		eventAt = now
 	}
 	if p.lookupEv == nil {
+		//lint:ignore hotpathalloc one-time event creation per port; steady state reschedules
 		p.lookupEv = p.sw.Engine.Schedule(eventAt, p.lookupDone)
 	} else {
 		p.sw.Engine.Reschedule(p.lookupEv, eventAt)
@@ -486,6 +491,8 @@ func (p *Port) armLookup(ready sim.Time) {
 
 // lookupDone pops the head pending lookup, re-arms for the next one, and
 // hands the frame to the forwarding decision.
+//
+//lint:hotpath
 func (p *Port) lookupDone() {
 	d := p.lookupQ.Pop()
 	if d.train != nil {
@@ -788,6 +795,10 @@ func (p *Port) enqueue(f *wire.Frame, earliest sim.Time, boundary bool) {
 	p.trySend()
 }
 
+// trySend starts serialising the head of the egress queue when the MAC
+// is free.
+//
+//lint:hotpath
 func (p *Port) trySend() {
 	if p.busy || p.queue.Len() == 0 {
 		return
@@ -812,6 +823,7 @@ func (p *Port) trySend() {
 		eventAt = now
 	}
 	if p.txEv == nil {
+		//lint:ignore hotpathalloc one-time event creation per port; steady state reschedules
 		p.txEv = p.sw.Engine.Schedule(eventAt, p.txDone)
 	} else {
 		p.sw.Engine.Reschedule(p.txEv, eventAt)
@@ -848,6 +860,7 @@ func (p *Port) sendTrain(t *wire.Train, earliest sim.Time) {
 		eventAt = now
 	}
 	if p.txEv == nil {
+		//lint:ignore hotpathalloc one-time event creation per port; steady state reschedules
 		p.txEv = p.sw.Engine.Schedule(eventAt, p.txDone)
 	} else {
 		p.sw.Engine.Reschedule(p.txEv, eventAt)

@@ -75,7 +75,7 @@ func NewDiscipline(osc *Oscillator) *Discipline {
 // Start begins disciplining: the servo observes a PPS edge at every whole
 // true second on the engine, beginning at the next one.
 func (d *Discipline) Start(e *sim.Engine) {
-	next := e.Now() - e.Now()%sim.Time(sim.Second) + sim.Time(sim.Second)
+	next := e.Now().Truncate(sim.Second).Add(sim.Second)
 	e.ScheduleEvery(next, sim.Second, func() { d.onPPS(e.Now()) })
 }
 

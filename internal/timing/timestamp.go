@@ -80,6 +80,5 @@ func (ts Timestamp) String() string {
 // and returns the corresponding timestamp — the value hardware would
 // latch for an event at t.
 func Quantize(t sim.Time) Timestamp {
-	q := t - t%sim.Time(Resolution)
-	return FromSim(q)
+	return FromSim(t.Truncate(Resolution))
 }

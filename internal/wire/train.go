@@ -103,6 +103,8 @@ type TrainEndpoint interface {
 // and a single delivery event. It returns the instant the last bit of
 // the last frame leaves the sender. The train must be non-empty; a
 // train of one degrades to the plain per-frame transmit.
+//
+//lint:hotpath
 func (l *Link) TransmitTrain(t *Train, earliest sim.Time) sim.Time {
 	if len(t.Frames) == 1 {
 		f := t.Frames[0]
@@ -139,6 +141,7 @@ func (l *Link) TransmitTrain(t *Train, earliest sim.Time) sim.Time {
 			eventAt = now
 		}
 		if l.deliverEv == nil {
+			//lint:ignore hotpathalloc one-time event creation per link; steady state reschedules
 			l.deliverEv = l.Engine.Schedule(eventAt, l.deliver)
 		} else {
 			l.Engine.Reschedule(l.deliverEv, eventAt)

@@ -232,6 +232,8 @@ type inflight struct {
 // deliver is the single delivery-event callback: it hands the head entry
 // (one frame, or one whole train) to the peer and re-arms for the next
 // pending entry, if any.
+//
+//lint:hotpath
 func (l *Link) deliver() {
 	d := l.pending.Pop()
 	// Re-arm before the callback: if the peer transmits on this same link
@@ -279,6 +281,8 @@ func NewLink(e *sim.Engine, r Rate, d sim.Duration, peer Endpoint) *Link {
 // Transmit queues the frame for serialisation at the earliest instant the
 // link is free and returns the time the last bit leaves the sender. The
 // frame is delivered to the peer (if any) after the propagation delay.
+//
+//lint:hotpath
 func (l *Link) Transmit(f *Frame) sim.Time {
 	return l.TransmitAt(f, l.Engine.Now())
 }
@@ -289,6 +293,8 @@ func (l *Link) Transmit(f *Frame) sim.Time {
 // was still arriving: the returned last-bit time is exact, and the
 // delivery event is clamped to the present so causality in the event
 // queue is preserved.
+//
+//lint:hotpath
 func (l *Link) TransmitAt(f *Frame, earliest sim.Time) sim.Time {
 	start := earliest
 	if l.busyUntil > start {
@@ -317,6 +323,7 @@ func (l *Link) TransmitAt(f *Frame, earliest sim.Time) sim.Time {
 			eventAt = now
 		}
 		if l.deliverEv == nil {
+			//lint:ignore hotpathalloc one-time event creation per link; steady state reschedules
 			l.deliverEv = l.Engine.Schedule(eventAt, l.deliver)
 		} else {
 			l.Engine.Reschedule(l.deliverEv, eventAt)
