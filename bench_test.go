@@ -258,6 +258,35 @@ func BenchmarkE19FatTreeK4(b *testing.B) {
 	}
 }
 
+// BenchmarkE19FatTreeK4Sharded runs the same nine (matrix, load) points
+// as BenchmarkE19FatTreeK4 on the 1 µs-cable variant of the k=4 fabric,
+// each point executed across 4 conservative-lookahead shards (one
+// engine per core). This is the benchgate's gated E19FatTreeK4 workload
+// post-sharding: the frozen BENCH_PRESHARD.json snapshot holds the
+// serial pre-sharding figure it must beat.
+func BenchmarkE19FatTreeK4Sharded(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E19FatTreeK4Sharded(benchE19Dur, 4)
+		if len(tbl.Rows) != 9 {
+			b.Fatalf("sharded sweep produced %d rows, want 9", len(tbl.Rows))
+		}
+	}
+}
+
+// BenchmarkE20ShardScaling is one k=8 permutation point on 4 shards —
+// the shard runtime's barrier/window/drain overhead and parallel win in
+// a single number (machine-dependent by design: more cores, lower
+// ns/op).
+func BenchmarkE20ShardScaling(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if experiments.E20ShardMicroBench() == 0 {
+			b.Fatal("degenerate digest")
+		}
+	}
+}
+
 // BenchmarkFabricSynthK8 isolates fabric synthesis: one iteration
 // builds a full k=8 fat-tree (80 switches, 128 hosts, every FDB
 // pre-learned) on a fresh engine — the fixed cost every E19 point pays

@@ -4,9 +4,10 @@
 // BenchmarkE13MultiDUTChain, BenchmarkE14Capture100G,
 // BenchmarkE15Oversubscribed, BenchmarkE16LossAttribution,
 // BenchmarkE17FlowAnalytics, BenchmarkE18TrainSweep,
-// BenchmarkE19FatTreeK4 and the BenchmarkMonSteer8Q /
-// BenchmarkDUTSpray2W / BenchmarkMonMerge8Q / BenchmarkFlowTableUpsert /
-// BenchmarkFabricSynthK8 / BenchmarkPacketChecksum micro-benchmarks
+// BenchmarkE19FatTreeK4Sharded, BenchmarkE20ShardScaling and the
+// BenchmarkMonSteer8Q / BenchmarkDUTSpray2W / BenchmarkMonMerge8Q /
+// BenchmarkFlowTableUpsert / BenchmarkFabricSynthK8 /
+// BenchmarkPacketChecksum / BenchmarkEngineChurn micro-benchmarks
 // iterate),
 // writes the measured ns/op and
 // allocs/op to a JSON report, and compares the report against a
@@ -77,13 +78,21 @@ var benchmarks = []struct {
 	{"E16LossAttr", func() { experiments.E16LossAttribution(2 * sim.Millisecond) }},
 	{"E17FlowAnalytics", func() { experiments.E17FlowAnalytics(2 * sim.Millisecond) }},
 	{"E18TrainSweep", func() { experiments.E18TrainSpeedup(sim.Millisecond) }},
-	{"E19FatTreeK4", func() { experiments.E19FatTreeK4(250 * sim.Microsecond) }},
+	// E19FatTreeK4 is the sharded engine's headline gate: the same nine
+	// (matrix, load) points the pre-sharding driver ran, now on 4
+	// conservative-lookahead shards. CI holds it to ≥1.5× the frozen
+	// serial figure in BENCH_PRESHARD.json via -expect-improve — the
+	// partitioned event heaps alone reclaim most of that on one core,
+	// and every additional core widens the margin.
+	{"E19FatTreeK4", func() { experiments.E19FatTreeK4Sharded(250*sim.Microsecond, 4) }},
 	{"FabricSynthK8", func() { experiments.FabricSynthMicroBench() }},
 	{"MonSteer8Q", func() { experiments.SteerMicroBench(sim.Millisecond) }},
 	{"DUTSpray2W", func() { experiments.SprayMicroBench(sim.Millisecond) }},
 	{"MonMerge8Q", func() { experiments.MergeMicroBench(sim.Millisecond) }},
 	{"FlowTableUpsert", func() { experiments.FlowTableMicroBench() }},
 	{"PacketChecksum", checksumDriver},
+	{"EngineChurn", engineChurnDriver},
+	{"E20ShardScaling", func() { experiments.E20ShardMicroBench() }},
 	{"LintCheckSelf", lintSelfDriver},
 }
 
@@ -101,6 +110,28 @@ func checksumDriver() {
 	}
 	for i := 0; i < 20000; i++ {
 		checksumSink = packet.Checksum(data, uint32(i))
+	}
+}
+
+// engineChurnDriver is the in-process twin of BenchmarkEngineChurn:
+// schedule/fire churn against a one-million-pending event heap, every
+// fired event re-arming itself so the heap depth — and therefore the
+// sift cost the inlined pointer heap is optimising — stays constant.
+func engineChurnDriver() {
+	const (
+		pending = 1 << 20
+		churn   = 1 << 20
+	)
+	e := sim.NewEngine()
+	evs := make([]*sim.Event, pending)
+	for i := range evs {
+		i := i
+		evs[i] = e.Schedule(sim.Time(1+i), func() {
+			e.RescheduleAfter(evs[i], sim.Duration(1+uint64(i)*2654435761%100000))
+		})
+	}
+	for n := 0; n < churn; n++ {
+		e.Step()
 	}
 }
 
@@ -171,11 +202,21 @@ func pctDelta(cur, base float64) float64 {
 	return (cur - base) / base * 100
 }
 
+// expectation is one -expect-improve demand: the named benchmark's
+// ns/op must be at least factor× below its improve baseline. file, when
+// non-empty, names a frozen snapshot to measure against instead of the
+// run's default improve baseline — so one invocation can hold E14 to its
+// pre-batching snapshot and E19 to its pre-sharding one.
+type expectation struct {
+	factor float64
+	file   string
+}
+
 // parseExpectations parses the -expect-improve value: comma-separated
-// name:factor pairs, each demanding the named benchmark's ns/op be at
-// least factor× below the baseline (factor 1.2 = 20% faster).
-func parseExpectations(s string) (map[string]float64, error) {
-	exp := make(map[string]float64)
+// name:factor[@file] entries (factor 1.2 = 20% faster; @file pins the
+// entry to a specific frozen baseline).
+func parseExpectations(s string) (map[string]expectation, error) {
+	exp := make(map[string]expectation)
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -183,36 +224,55 @@ func parseExpectations(s string) (map[string]float64, error) {
 		}
 		name, val, ok := strings.Cut(part, ":")
 		if !ok || name == "" {
-			return nil, fmt.Errorf("expect-improve %q: want name:factor", part)
+			return nil, fmt.Errorf("expect-improve %q: want name:factor[@file]", part)
 		}
+		val, file, _ := strings.Cut(val, "@")
 		f, err := strconv.ParseFloat(val, 64)
 		if err != nil || f < 1 {
 			return nil, fmt.Errorf("expect-improve %q: factor must be a number ≥ 1", part)
 		}
-		exp[name] = f
+		exp[name] = expectation{factor: f, file: file}
 	}
 	return exp, nil
 }
 
-// checkImprovements enforces -expect-improve against the baseline: an
+// checkImprovements enforces -expect-improve: each expectation measures
+// against its own @file baseline when given, else fallback. An
 // expectation fails when the measured ns/op exceeds baseline/factor, or
 // when the named benchmark is absent from either side — a silently
-// unmeasurable expectation must fail, not pass.
-func checkImprovements(got, baseline report, exp map[string]float64) []violation {
+// unmeasurable expectation must fail, not pass. Baseline files load once
+// each, and an unreadable file is itself a violation.
+func checkImprovements(got, fallback report, exp map[string]expectation, load func(path string) (report, error)) []violation {
 	names := make([]string, 0, len(exp))
 	for name := range exp {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	cache := make(map[string]report)
 	var out []violation
 	for _, name := range names {
+		baseline := fallback
+		if file := exp[name].file; file != "" {
+			frozen, ok := cache[file]
+			if !ok {
+				var err error
+				frozen, err = load(file)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+					out = append(out, violation{name, "improve-presence", 0, 0})
+					continue
+				}
+				cache[file] = frozen
+			}
+			baseline = frozen
+		}
 		base, okBase := baseline[name]
 		cur, okGot := got[name]
 		if !okBase || !okGot {
 			out = append(out, violation{name, "improve-presence", 0, 0})
 			continue
 		}
-		if limit := base.NsPerOp / exp[name]; cur.NsPerOp > limit {
+		if limit := base.NsPerOp / exp[name].factor; cur.NsPerOp > limit {
 			out = append(out, violation{name, "improve", cur.NsPerOp, limit})
 		}
 	}
@@ -250,6 +310,19 @@ func compare(got, baseline report, tolNS, tolAllocs float64) []violation {
 	return out
 }
 
+// loadReport reads and parses one benchmark report file.
+func loadReport(path string) (report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
 func writeJSON(path string, r report) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -265,7 +338,7 @@ func main() {
 	count := flag.Int("count", 3, "samples per benchmark (minimum is reported)")
 	tolNS := flag.Float64("tol-ns", 1.25, "allowed ns/op growth factor over baseline")
 	tolAllocs := flag.Float64("tol-allocs", 1.10, "allowed allocs/op growth factor over baseline")
-	expectImprove := flag.String("expect-improve", "", "comma-separated name:factor pairs whose ns/op must beat the improve baseline by ≥ factor (e.g. E14Capture100G:1.2)")
+	expectImprove := flag.String("expect-improve", "", "comma-separated name:factor[@file] entries whose ns/op must beat the improve baseline (or the @file snapshot) by ≥ factor (e.g. E14Capture100G:1.2,E19FatTreeK4:1.5@BENCH_PRESHARD.json)")
 	improveBase := flag.String("improve-baseline", "", "baseline -expect-improve measures against (default: the -baseline file); point it at a frozen pre-optimisation snapshot to assert a speedup that outlives baseline rewrites")
 	flag.Parse()
 
@@ -317,20 +390,15 @@ func main() {
 
 	improveAgainst := baseline
 	if *improveBase != "" {
-		data, err := os.ReadFile(*improveBase)
+		frozen, err := loadReport(*improveBase)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-			os.Exit(1)
-		}
-		var frozen report
-		if err := json.Unmarshal(data, &frozen); err != nil {
-			fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *improveBase, err)
 			os.Exit(1)
 		}
 		improveAgainst = frozen
 	}
 	violations := compare(got, baseline, *tolNS, *tolAllocs)
-	violations = append(violations, checkImprovements(got, improveAgainst, expectations)...)
+	violations = append(violations, checkImprovements(got, improveAgainst, expectations, loadReport)...)
 	for _, v := range violations {
 		fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s\n", v)
 	}

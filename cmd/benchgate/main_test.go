@@ -1,6 +1,15 @@
 package main
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
+
+// noLoad is the checkImprovements loader for expectations with no @file
+// pins — reaching it is a test bug.
+func noLoad(path string) (report, error) {
+	return nil, fmt.Errorf("unexpected load of %s", path)
+}
 
 func TestCompareWithinTolerancePasses(t *testing.T) {
 	base := report{"E1": {NsPerOp: 1000, AllocsPerOp: 2000}}
@@ -56,12 +65,22 @@ func TestCompareNewBenchmarkNotGated(t *testing.T) {
 }
 
 func TestParseExpectations(t *testing.T) {
-	exp, err := parseExpectations("E14Capture100G:1.2, MonMerge8Q:2")
+	exp, err := parseExpectations("E14Capture100G:1.2, MonMerge8Q:2, E19FatTreeK4:1.5@BENCH_PRESHARD.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(exp) != 2 || exp["E14Capture100G"] != 1.2 || exp["MonMerge8Q"] != 2 {
+	want := map[string]expectation{
+		"E14Capture100G": {factor: 1.2},
+		"MonMerge8Q":     {factor: 2},
+		"E19FatTreeK4":   {factor: 1.5, file: "BENCH_PRESHARD.json"},
+	}
+	if len(exp) != len(want) {
 		t.Fatalf("exp = %v", exp)
+	}
+	for name, w := range want {
+		if exp[name] != w {
+			t.Fatalf("exp[%s] = %v, want %v", name, exp[name], w)
+		}
 	}
 	if exp, err := parseExpectations(""); err != nil || len(exp) != 0 {
 		t.Fatalf("empty spec: exp = %v, err = %v", exp, err)
@@ -76,7 +95,7 @@ func TestParseExpectations(t *testing.T) {
 func TestCheckImprovementsHolds(t *testing.T) {
 	base := report{"E14": {NsPerOp: 1200}}
 	got := report{"E14": {NsPerOp: 900}} // 1.33× faster
-	if v := checkImprovements(got, base, map[string]float64{"E14": 1.2}); len(v) != 0 {
+	if v := checkImprovements(got, base, map[string]expectation{"E14": {factor: 1.2}}, noLoad); len(v) != 0 {
 		t.Fatalf("unexpected violations: %v", v)
 	}
 }
@@ -84,7 +103,7 @@ func TestCheckImprovementsHolds(t *testing.T) {
 func TestCheckImprovementsFlagsShortfall(t *testing.T) {
 	base := report{"E14": {NsPerOp: 1200}}
 	got := report{"E14": {NsPerOp: 1100}} // only 1.09× faster
-	v := checkImprovements(got, base, map[string]float64{"E14": 1.2})
+	v := checkImprovements(got, base, map[string]expectation{"E14": {factor: 1.2}}, noLoad)
 	if len(v) != 1 || v[0].metric != "improve" {
 		t.Fatalf("violations = %v, want one improve shortfall", v)
 	}
@@ -93,7 +112,38 @@ func TestCheckImprovementsFlagsShortfall(t *testing.T) {
 func TestCheckImprovementsFlagsMissingName(t *testing.T) {
 	base := report{"E14": {NsPerOp: 1200}}
 	got := report{"E14": {NsPerOp: 100}}
-	v := checkImprovements(got, base, map[string]float64{"E99": 1.2})
+	v := checkImprovements(got, base, map[string]expectation{"E99": {factor: 1.2}}, noLoad)
+	if len(v) != 1 || v[0].metric != "improve-presence" {
+		t.Fatalf("violations = %v, want one improve-presence failure", v)
+	}
+}
+
+func TestCheckImprovementsPinnedFile(t *testing.T) {
+	frozen := report{"E19": {NsPerOp: 3000}}
+	fallback := report{"E19": {NsPerOp: 1000}} // would fail against this
+	got := report{"E19": {NsPerOp: 1500}}      // 2× faster than frozen
+	load := func(path string) (report, error) {
+		if path != "frozen.json" {
+			return nil, fmt.Errorf("unexpected path %s", path)
+		}
+		return frozen, nil
+	}
+	exp := map[string]expectation{"E19": {factor: 1.5, file: "frozen.json"}}
+	if v := checkImprovements(got, fallback, exp, load); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	// The same measurement misses a 2.5× demand against the snapshot.
+	exp["E19"] = expectation{factor: 2.5, file: "frozen.json"}
+	v := checkImprovements(got, fallback, exp, load)
+	if len(v) != 1 || v[0].metric != "improve" {
+		t.Fatalf("violations = %v, want one improve shortfall", v)
+	}
+}
+
+func TestCheckImprovementsUnreadableFileFails(t *testing.T) {
+	got := report{"E19": {NsPerOp: 1}}
+	load := func(path string) (report, error) { return nil, fmt.Errorf("no such file %s", path) }
+	v := checkImprovements(got, report{}, map[string]expectation{"E19": {factor: 1.5, file: "gone.json"}}, load)
 	if len(v) != 1 || v[0].metric != "improve-presence" {
 		t.Fatalf("violations = %v, want one improve-presence failure", v)
 	}

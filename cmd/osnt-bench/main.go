@@ -3,12 +3,15 @@
 // E10 tester mesh, E11 40G ports, E12 mixed-rate fan-in, E13 multi-DUT
 // chain, E14 100G multi-queue capture, E15 oversubscribed ECMP fabric,
 // E16 per-hop loss attribution, E17 per-flow analytics over merged
-// multi-queue capture, E18 frame-train coalescing and E19 synthesized
-// fat-tree fabrics) printed to stdout.
+// multi-queue capture, E18 frame-train coalescing, E19 synthesized
+// fat-tree fabrics and E20 sharded conservative-lookahead execution)
+// printed to stdout.
 // Use -e to select a single experiment,
 // -workers to bound sweep parallelism (tables are byte-identical at any
-// worker count) and -train to override the frame-train cap of the
-// batching experiments (0 keeps each experiment's own setting).
+// worker count), -train to override the frame-train cap of the
+// batching experiments (0 keeps each experiment's own setting) and
+// -shards to cap the shard axis of the sharded experiment (rows that
+// remain are byte-identical at any cap).
 //
 // Usage:
 //
@@ -54,6 +57,7 @@ var runners = []struct {
 	{"e17", "per-flow analytics over merged multi-queue capture: elephants and mice through a lossy DUT", func() *stats.Table { return experiments.E17FlowAnalytics(0) }},
 	{"e18", "frame-train coalescing at 100G: events per frame vs train cap, bit-exact across caps", func() *stats.Table { return experiments.E18TrainSpeedup(0) }},
 	{"e19", "synthesized fat-trees: k=8/k=4 under permutation/incast/hot-spot with per-tier loss attribution", func() *stats.Table { return experiments.E19FatTree(0) }},
+	{"e20", "sharded conservative-lookahead execution: k=8 matrices at 1/2/4/8 shards, digests proven identical", func() *stats.Table { return experiments.E20ShardedFabric(0) }},
 }
 
 func validIDs() string {
@@ -69,11 +73,13 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	train := flag.Int("train", 0, "frame-train cap override for the batching experiments (0 = per-experiment default, 1 = per-frame path)")
+	shards := flag.Int("shards", 0, "cap on the shard axis of the sharded experiment (0 = full 1/2/4/8 sweep; N keeps shard counts ≤ N plus the 1-shard reference)")
 	losses := flag.Bool("losses", false, "print the per-hop/per-reason loss table of the canonical oversubscribed fabric (E15 at 100% load) and exit")
 	writeExp := flag.String("write-experiments", "", "regenerate the generated tables section of the given markdown file (\"\" = off; CI uses EXPERIMENTS.md)")
 	flag.Parse()
 	experiments.Workers = *workers
 	experiments.TrainCap = *train
+	experiments.Shards = *shards
 
 	if *list {
 		for _, r := range runners {

@@ -14,8 +14,12 @@ import (
 //
 //   - range over a map, unless the loop body is provably order-insensitive:
 //     it only accumulates into integer counters, copies into another map,
-//     deletes keys, or collects keys/values into a slice that the same
-//     function later sorts (the sorted-key-iteration idiom);
+//     deletes keys, clears or self-truncates per-value buffers
+//     (x = x[:0]), or collects keys/values into a slice that the same
+//     function later sorts — the sorted-key-iteration idiom, and its
+//     drain form used by shard-style inbox merges: append each source's
+//     buffered records into one slice, reset the source buffer, and sort
+//     the merged slice before replaying it;
 //   - calls to time.Now / time.Since and timer construction — simulated
 //     components read the sim.Engine clock;
 //   - any use of math/rand or math/rand/v2 — per-component sim.Rand
@@ -123,9 +127,10 @@ func checkDetBody(pass *Pass, body *ast.BlockStmt) {
 
 // orderInsensitiveBody reports whether a map-range body cannot leak the
 // iteration order: every statement either accumulates into an integer
-// (order-commutative), writes into another map, deletes map keys, or
-// appends keys/values into slices that the enclosing function later
-// sorts.
+// (order-commutative), writes into another map, deletes map keys,
+// resets a per-value buffer (clear(x) or x = x[:0] — the inbox-drain
+// idiom), or appends keys/values into slices that the enclosing
+// function later sorts.
 func orderInsensitiveBody(info *types.Info, enclosing *ast.BlockStmt, rng *ast.RangeStmt) bool {
 	var collected []types.Object // slices built up inside the loop
 	for _, s := range rng.Body.List {
@@ -149,6 +154,12 @@ func orderInsensitiveBody(info *types.Info, enclosing *ast.BlockStmt, rng *ast.R
 					return false
 				}
 			case token.ASSIGN, token.DEFINE:
+				// x = x[:0] — truncating a per-value buffer back to empty
+				// (the drain idiom: each source's records were consumed and
+				// the buffer reset) is order-free.
+				if isSelfTruncation(lhs, rhs) {
+					continue
+				}
 				// m2[k] = v — building another map is order-free.
 				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
 					if t, ok := info.Types[ix.X]; ok {
@@ -188,9 +199,15 @@ func orderInsensitiveBody(info *types.Info, enclosing *ast.BlockStmt, rng *ast.R
 			if !ok {
 				return false
 			}
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
-				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
-					continue
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				// delete(m, k) prunes the ranged map; clear(x) zeroes a
+				// per-value buffer in place (inbox drains clear consumed
+				// record slices so pooled pointers don't pin). Both touch
+				// only the current entry's state, so order cannot leak.
+				if id.Name == "delete" || id.Name == "clear" {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						continue
+					}
 				}
 			}
 			return false
@@ -247,6 +264,22 @@ func sortedLater(info *types.Info, enclosing *ast.BlockStmt, rng *ast.RangeStmt,
 		return true
 	})
 	return found
+}
+
+// isSelfTruncation reports whether the assignment is x = x[:0] for the
+// same expression x on both sides — the buffer-reset half of the
+// inbox-drain idiom. Only a truncation to exactly zero counts: any
+// other bound keeps order-dependent content alive.
+func isSelfTruncation(lhs, rhs ast.Expr) bool {
+	sl, ok := ast.Unparen(rhs).(*ast.SliceExpr)
+	if !ok || sl.Slice3 || sl.Low != nil {
+		return false
+	}
+	high, ok := ast.Unparen(sl.High).(*ast.BasicLit)
+	if !ok || high.Kind != token.INT || high.Value != "0" {
+		return false
+	}
+	return types.ExprString(ast.Unparen(lhs)) == types.ExprString(ast.Unparen(sl.X))
 }
 
 // isIntegerExpr reports whether e's type is an integer kind.

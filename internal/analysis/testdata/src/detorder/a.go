@@ -6,6 +6,7 @@ package detorder
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 	"time"
 )
@@ -105,6 +106,51 @@ func ignoredRange(m map[string]int, addCommutative func(int)) {
 	//lint:ignore detorder the sink folds with a commutative operation
 	for _, v := range m {
 		addCommutative(v)
+	}
+}
+
+// inbox is a per-source record buffer, the shard-style boundary-channel
+// shape: drains consume recs and reset the buffer.
+type inbox struct {
+	recs []int
+}
+
+// drainSorted is the sanctioned inbox-drain idiom: merge every source's
+// buffered records into one slice, reset each buffer (clear + truncate
+// to zero), and sort the merge before replaying — the order the sources
+// were visited in cannot survive the sort.
+func drainSorted(chans map[string]*inbox, replay func(int)) {
+	var merged []int
+	for _, ch := range chans {
+		merged = append(merged, ch.recs...)
+		clear(ch.recs)
+		ch.recs = ch.recs[:0]
+	}
+	slices.SortFunc(merged, func(a, b int) int { return a - b })
+	for _, r := range merged {
+		replay(r)
+	}
+}
+
+// drainUnsorted forgets the sort: the merge order (map iteration) leaks
+// straight into the replay.
+func drainUnsorted(chans map[string]*inbox, replay func(int)) {
+	var merged []int
+	for _, ch := range chans { // want "map iteration order is nondeterministic"
+		merged = append(merged, ch.recs...)
+		ch.recs = ch.recs[:0]
+	}
+	for _, r := range merged {
+		replay(r)
+	}
+}
+
+// drainPartialTruncate truncates to a nonzero bound: the surviving
+// element depends on which source was visited last, so the reset is not
+// order-free.
+func drainPartialTruncate(chans map[string]*inbox) {
+	for _, ch := range chans { // want "map iteration order is nondeterministic"
+		ch.recs = ch.recs[:1]
 	}
 }
 

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"osnt/internal/race"
+	"osnt/internal/sim"
+	"osnt/internal/stats"
+)
+
+// e20TestDuration keeps the shard-determinism sweeps affordable: the
+// digest compares every delivered frame's timestamp, latency and size,
+// so even a short window is an exacting witness.
+func e20TestDuration() sim.Duration {
+	if race.Enabled {
+		return 40 * sim.Microsecond
+	}
+	return 100 * sim.Microsecond
+}
+
+// The tentpole invariant on the shards axis: the E20 table sweeps every
+// matrix over shards 1/2/4/8, and its match column compares each
+// sharded point's stream digest against the 1-shard reference — all of
+// them must hold, and the whole table must render byte-identically
+// across worker counts (shards × workers, both orchestration details).
+// Run with -race to certify the barrier protocol's memory discipline.
+func TestE20ShardDigestsByteIdentical(t *testing.T) {
+	dur := e20TestDuration()
+	serial := withWorkers(1, func() *stats.Table { return E20ShardedFabric(dur) })
+	matchCol := len(serial.Columns) - 1
+	for _, row := range serial.Rows {
+		if m := row[matchCol]; m != "ref" && m != "true" {
+			t.Errorf("matrix %s at %s shards: digest diverged from the 1-shard reference\n%s",
+				row[1], row[2], serial.String())
+		}
+	}
+	for _, w := range []int{4} {
+		if got := withWorkers(w, func() *stats.Table { return E20ShardedFabric(dur) }).String(); got != serial.String() {
+			t.Fatalf("workers=%d diverged from serial:\n--- serial ---\n%s--- workers=%d ---\n%s",
+				w, serial.String(), w, got)
+		}
+	}
+}
+
+// The sharded benchgate workload must hold the same invariant: the k=4
+// nine-point sweep renders byte-identically at shards 1/2/4/8 — digests
+// included — at workers 1 and 4. This is the shards × workers matrix
+// the sharded engine is certified on.
+func TestE19ShardedByteIdenticalAcrossShards(t *testing.T) {
+	dur := e20TestDuration()
+	var ref string
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, w := range []int{1, 4} {
+			got := withWorkers(w, func() *stats.Table { return E19FatTreeK4Sharded(dur, shards) })
+			// Titles name the shard count; the payload must not. The
+			// rendered table leads with a "== title ==" banner line — cut
+			// through its newline.
+			full := got.String()
+			body := full[strings.IndexByte(full, '\n')+1:]
+			if ref == "" {
+				ref = body
+				continue
+			}
+			if body != ref {
+				t.Fatalf("shards=%d workers=%d diverged from the 1-shard reference:\n--- reference ---\n%s--- got ---\n%s",
+					shards, w, ref, body)
+			}
+		}
+	}
+}
+
+// The cluster must actually buy wall time on the E20 workload: one k=8
+// permutation point, serial engine vs the same point on 4 shards. The
+// tentpole targets ≥2.5×; assert a conservative 0.55× (≈1.8×) so
+// scheduler noise cannot flake CI, and log the real ratio for the
+// record (EXPERIMENTS.md quotes a measured run).
+func TestE20ShardSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if race.Enabled {
+		t.Skip("race instrumentation distorts wall-clock ratios")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("needs ≥4 physical CPUs, have %d", runtime.NumCPU())
+	}
+	const dur = 400 * sim.Microsecond
+	// Warm the frame pool and page caches off the clock.
+	e20Point(50*sim.Microsecond, 8, "permutation", e20Load, e20LinkDelay, 0, 4)
+
+	t0 := time.Now()
+	serial := e20Point(dur, 8, "permutation", e20Load, e20LinkDelay, 0, 1)
+	serialWall := time.Since(t0)
+
+	t0 = time.Now()
+	sharded := e20Point(dur, 8, "permutation", e20Load, e20LinkDelay, 0, 4)
+	shardedWall := time.Since(t0)
+
+	if serial.digest != sharded.digest {
+		t.Fatalf("sharded digest %016x diverged from serial %016x", sharded.digest, serial.digest)
+	}
+	ratio := float64(shardedWall) / float64(serialWall)
+	t.Logf("E20 k=8 permutation wall: serial=%v 4-shards=%v ratio=%.2f (speedup %.2f×)",
+		serialWall, shardedWall, ratio, 1/ratio)
+	if ratio > 0.55 {
+		t.Errorf("4-shard point took %.2f× the serial wall time, want < 0.55×", ratio)
+	}
+}

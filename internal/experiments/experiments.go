@@ -515,5 +515,6 @@ func All() []*stats.Table {
 		E17FlowAnalytics(0),
 		E18TrainSpeedup(0),
 		E19FatTree(0),
+		E20ShardedFabric(0),
 	}
 }

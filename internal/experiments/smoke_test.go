@@ -12,17 +12,17 @@ import (
 // cmd/osnt-bench and EXPERIMENTS.md rely on.
 func TestAllTablesWellFormed(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs the full E1–E19 evaluation")
+		t.Skip("runs the full E1–E20 evaluation")
 	}
 	if race.Enabled {
-		// Table shape is build-independent and the full-duration E1–E19
+		// Table shape is build-independent and the full-duration E1–E20
 		// sweep costs many minutes race-instrumented; the determinism
 		// suite is the race-certification path for every sweep.
 		t.Skip("full-duration sweep; shape does not depend on -race")
 	}
 	tables := All()
-	if len(tables) != 19 {
-		t.Fatalf("All() returned %d tables, want 19 (E1–E19)", len(tables))
+	if len(tables) != 20 {
+		t.Fatalf("All() returned %d tables, want 20 (E1–E20)", len(tables))
 	}
 	for i, tbl := range tables {
 		if tbl.Title == "" {

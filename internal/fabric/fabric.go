@@ -14,6 +14,7 @@ package fabric
 
 import (
 	"fmt"
+	"strings"
 
 	"osnt/internal/netfpga"
 	"osnt/internal/packet"
@@ -163,6 +164,22 @@ func hostIP(p, e, s int) packet.IP4 {
 // hop ID, every host a 1-port tester, every FDB pre-learned so the
 // first frame already ECMP-sprays instead of flooding.
 func Build(e *sim.Engine, spec Spec) (*Fabric, error) {
+	return synth(spec, func(b *topo.Builder) (*topo.Topology, error) { return b.Build(e) })
+}
+
+// BuildPartitioned synthesizes the fat-tree across a topo.Partition —
+// the sharded-execution spelling of Build. The partition's ShardOf is
+// normally Spec.PodShard, which keeps each pod (and its hosts) on one
+// shard so only the agg↔core cables cross the cut; those cables carry
+// Spec.LinkDelay, which must then be positive (topo rejects zero-delay
+// cut edges). A 1-engine partition is exactly Build.
+func BuildPartitioned(p topo.Partition, spec Spec) (*Fabric, error) {
+	return synth(spec, func(b *topo.Builder) (*topo.Topology, error) { return b.BuildPartitioned(p) })
+}
+
+// synth expands the spec into a topo graph, builds it through the given
+// terminal operation, and derives the placement/tier metadata.
+func synth(spec Spec, build func(*topo.Builder) (*topo.Topology, error)) (*Fabric, error) {
 	if err := spec.fill(); err != nil {
 		return nil, err
 	}
@@ -261,7 +278,7 @@ func Build(e *sim.Engine, spec Spec) (*Fabric, error) {
 		}
 	}
 
-	tp, err := b.Build(e)
+	tp, err := build(b)
 	if err != nil {
 		return nil, err
 	}
@@ -349,6 +366,60 @@ func MustBuild(e *sim.Engine, spec Spec) *Fabric {
 		panic(err)
 	}
 	return f
+}
+
+// MustBuildPartitioned is BuildPartitioned, panicking on a spec or
+// validation error.
+func MustBuildPartitioned(p topo.Partition, spec Spec) *Fabric {
+	f, err := BuildPartitioned(p, spec)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// PodShard returns the pod-aligned shard map for an n-shard partition:
+// pod p — its edge and aggregation switches and all of its hosts — lands
+// on shard p mod n, and core j.c (the c-th core of plane j) on shard
+// (j·(k/2) + c) mod n. Host↔edge and edge↔agg cables are therefore
+// always intra-shard; only the agg↔core cables cross the cut, and every
+// one of them carries Spec.LinkDelay — the structure the synthesizer
+// knows is exactly the lookahead-friendly cut. Balanced whenever n
+// divides the pod count k (and the core count k²/(4·Oversub)).
+//
+// The map answers by node name, so it plugs straight into
+// shard.Cluster.Partition. Unknown names (there are none in a
+// synthesized fabric) map to shard 0.
+func (s Spec) PodShard(n int) func(name string) int {
+	if err := s.fill(); err != nil {
+		panic(err)
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("fabric: PodShard over %d shards", n))
+	}
+	h := s.K / 2 // hosts per edge, edges per pod, cores per plane
+	return func(name string) int {
+		var a, b int
+		switch {
+		case len(name) > 1 && name[0] == 'h' && name[1] != 'o': // "h<i>" but not "host..."
+			if _, err := fmt.Sscanf(name, "h%d", &a); err == nil {
+				return a / (h * h) % n // host index → pod
+			}
+		case strings.HasPrefix(name, "edge"):
+			if _, err := fmt.Sscanf(name, "edge%d.%d", &a, &b); err == nil {
+				return a % n
+			}
+		case strings.HasPrefix(name, "agg"):
+			if _, err := fmt.Sscanf(name, "agg%d.%d", &a, &b); err == nil {
+				return a % n
+			}
+		case strings.HasPrefix(name, "core"):
+			if _, err := fmt.Sscanf(name, "core%d.%d", &a, &b); err == nil {
+				return (a*h + b) % n
+			}
+		}
+		return 0
+	}
 }
 
 // HostPort returns host i's single NIC port (generators transmit on it,

@@ -27,6 +27,24 @@ type Runner struct {
 // New returns a runner with the given worker count (0 = GOMAXPROCS).
 func New(workers int) *Runner { return &Runner{Workers: workers} }
 
+// NewScaled returns a runner for sweeps whose points are themselves
+// parallel — each point runs on up to inner goroutines (a sharded
+// cluster) — so the shards × workers product stays within the machine:
+// an auto worker count (workers == 0) resolves to GOMAXPROCS/inner
+// (min 1) instead of GOMAXPROCS. An explicit workers wins unchanged,
+// exactly as in New; results are byte-identical either way.
+func NewScaled(workers, inner int) *Runner {
+	if workers == 0 {
+		if inner < 1 {
+			inner = 1
+		}
+		if workers = runtime.GOMAXPROCS(0) / inner; workers < 1 {
+			workers = 1
+		}
+	}
+	return &Runner{Workers: workers}
+}
+
 func (r *Runner) workers(points int) int {
 	w := r.Workers
 	if w <= 0 {

@@ -1,0 +1,218 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"osnt/internal/gen"
+	"osnt/internal/netfpga"
+	"osnt/internal/packet"
+	"osnt/internal/shard"
+	"osnt/internal/sim"
+	"osnt/internal/timing"
+	"osnt/internal/topo"
+	"osnt/internal/wire"
+)
+
+func TestNewClusterRejectsZeroShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCluster(0) did not panic")
+		}
+	}()
+	shard.NewCluster(0)
+}
+
+func TestCrossLinkRejectsZeroDelay(t *testing.T) {
+	c := shard.NewCluster(2)
+	defer c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CrossLink with zero delay did not panic")
+		}
+	}()
+	c.CrossLink(0, 1, c.Engine(0), wire.Rate10G, 0, nil)
+}
+
+func TestLookaheadIsMinimumCutDelay(t *testing.T) {
+	c := shard.NewCluster(2)
+	defer c.Close()
+	if got := c.Lookahead(); got != 0 {
+		t.Fatalf("lookahead before any boundary link: %v, want 0", got)
+	}
+	var sink topo.Sink
+	c.CrossLink(0, 1, c.Engine(0), wire.Rate10G, 5*sim.Microsecond, &sink)
+	c.CrossLink(1, 0, c.Engine(1), wire.Rate10G, 2*sim.Microsecond, &sink)
+	c.CrossLink(0, 1, c.Engine(0), wire.Rate10G, 9*sim.Microsecond, &sink)
+	if got := c.Lookahead(); got != 2*sim.Microsecond {
+		t.Fatalf("lookahead = %v, want the 2µs minimum cut delay", got)
+	}
+}
+
+func TestSingleShardPassthrough(t *testing.T) {
+	c := shard.NewCluster(1)
+	defer c.Close()
+	if c.Shards() != 1 || len(c.Engines()) != 1 {
+		t.Fatalf("1-shard cluster reports %d shards / %d engines", c.Shards(), len(c.Engines()))
+	}
+	fired := 0
+	c.Engine(0).Schedule(sim.Time(100), func() { fired++ })
+	c.RunUntil(sim.Time(50))
+	if fired != 0 {
+		t.Fatal("event before its instant")
+	}
+	c.RunFor(sim.Duration(50))
+	if fired != 1 {
+		t.Fatalf("event at t=100 fired %d times after RunUntil(100)", fired)
+	}
+	c.Close() // idempotent, no goroutines to stop
+	c.Close()
+}
+
+// randomScenario describes one randomized delayed topology: n testers
+// whose ports are joined by a random permutation of cables, each with
+// its own positive propagation delay, plus per-port generator seeds.
+// The description is plain data so the same scenario can be declared
+// again for every shard count (a topo.Builder is single-use).
+type randomScenario struct {
+	testers int
+	ports   int
+	// wire[i] is the receiving port index (global: tester*ports+port)
+	// of the cable headed by transmit port i.
+	wire []int
+	// delay[i] is cable i's propagation delay, always positive so every
+	// partition of the testers is a legal cut.
+	delay []sim.Duration
+	seed  []uint64
+}
+
+func makeScenario(rng *sim.Rand) randomScenario {
+	s := randomScenario{testers: 3 + rng.Intn(3), ports: 2}
+	n := s.testers * s.ports
+	s.wire = rng.Perm(n)
+	s.delay = make([]sim.Duration, n)
+	s.seed = make([]uint64, n)
+	for i := range s.delay {
+		// 200 ns – 2.2 µs: cuts get lookaheads spanning an order of
+		// magnitude, so windows and barrier cadence vary per scenario.
+		s.delay[i] = sim.Duration(200+rng.Intn(2000)) * sim.Nanosecond
+		s.seed[i] = rng.Uint64()
+	}
+	return s
+}
+
+// runScenario declares the scenario onto a cluster partitioned by
+// shardOf (tester index → shard) and returns the traffic digest: per
+// receiving port, an FNV-1a fold over every delivered frame's embedded
+// send timestamp, measured latency and size, combined in global port
+// order. Any retiming, reordering or loss anywhere changes it.
+func runScenario(t *testing.T, s randomScenario, shards int, shardOf func(i int) int) uint64 {
+	t.Helper()
+	cl := shard.NewCluster(shards)
+	defer cl.Close()
+
+	b := topo.New()
+	for i := 0; i < s.testers; i++ {
+		b.Tester(fmt.Sprintf("t%d", i), netfpga.Config{Ports: s.ports})
+	}
+	ref := func(global int) string {
+		return fmt.Sprintf("t%d:%d", global/s.ports, global%s.ports)
+	}
+	for from, to := range s.wire {
+		b.LinkAt(ref(from), ref(to), 0, s.delay[from])
+	}
+	tp, err := b.BuildPartitioned(cl.Partition(func(name string) int {
+		var i int
+		fmt.Sscanf(name, "t%d", &i)
+		return shardOf(i)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	digests := make([]uint64, s.testers*s.ports)
+	for i := range digests {
+		digests[i] = 14695981039346656037
+		d := &digests[i]
+		tp.Port(ref(i)).OnReceive = func(f *wire.Frame, _ sim.Time, ts timing.Timestamp) {
+			if t0, ok := gen.ExtractTimestamp(f.Data, gen.DefaultTimestampOffset); ok {
+				*d = fnvMix(fnvMix(fnvMix(*d, uint64(t0)), uint64(ts.Sub(t0))), uint64(f.Size))
+			}
+		}
+	}
+
+	var gens []*gen.Generator
+	for i := range s.wire {
+		g, err := gen.New(tp.Port(ref(i)), gen.Config{
+			Source: &gen.UDPFlowSource{Spec: packet.UDPSpec{
+				SrcMAC: packet.MAC{2, 0, 0, 0, 0, byte(i + 1)},
+				DstMAC: packet.MAC{2, 0, 0, 0, 1, byte(s.wire[i] + 1)},
+				SrcIP:  packet.IP4{10, 0, 0, byte(i + 1)},
+				DstIP:  packet.IP4{10, 0, 1, byte(s.wire[i] + 1)},
+			}, NumFlows: 4, FrameSize: 512},
+			Spacing:        gen.Poisson{Mean: 2 * wire.SerializationTime(512, wire.Rate10G)},
+			EmbedTimestamp: true,
+			Pool:           wire.DefaultPool,
+			Seed:           s.seed[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start(0)
+		gens = append(gens, g)
+	}
+	cl.RunUntil(sim.Time(50 * sim.Microsecond))
+	for _, g := range gens {
+		g.Stop()
+	}
+	cl.Run() // drain in-flight frames
+
+	digest := uint64(14695981039346656037)
+	for _, d := range digests {
+		digest = fnvMix(digest, d)
+	}
+	return digest
+}
+
+// fnvMix folds one 64-bit value into an FNV-1a digest byte by byte
+// (the same fold the E20 experiment uses).
+func fnvMix(h, v uint64) uint64 {
+	const prime = 1099511628211
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * prime
+		v >>= 8
+	}
+	return h
+}
+
+// TestRandomPartitionDigest is the fuzz-style partition test: for a set
+// of seeded random delayed topologies, ANY cut — every tester assigned
+// to a uniformly random shard, including lopsided and empty-shard
+// assignments — reproduces the single-shard stream digest exactly.
+// Every cable carries a positive delay, so every assignment is legal;
+// determinism must come from the structural delivery keys and the
+// sorted boundary replay, not from any property of a particular
+// partition shape.
+func TestRandomPartitionDigest(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := sim.NewRand(0x5eed<<8 | uint64(trial))
+			s := makeScenario(rng)
+			want := runScenario(t, s, 1, func(int) int { return 0 })
+			for _, shards := range []int{2, 3, 4} {
+				for cut := 0; cut < 3; cut++ {
+					assign := make([]int, s.testers)
+					for i := range assign {
+						assign[i] = rng.Intn(shards)
+					}
+					got := runScenario(t, s, shards, func(i int) int { return assign[i] })
+					if got != want {
+						t.Fatalf("digest %016x at %d shards (cut %v) != single-shard %016x",
+							got, shards, assign, want)
+					}
+				}
+			}
+		})
+	}
+}

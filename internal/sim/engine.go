@@ -1,19 +1,32 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
 // Event is a scheduled callback. It is returned by the Schedule family so
 // callers can cancel pending work (for example a retransmit timer).
 type Event struct {
-	at     Time
-	seq    uint64 // tie-break: FIFO among events at the same instant
+	at Time
+	// prio orders events scheduled for the same instant: lower fires
+	// first, and PrioDefault — what the plain Schedule family assigns —
+	// sorts last, leaving those events in the familiar FIFO (seq) order.
+	// Explicit priorities exist for events whose same-instant order must
+	// be a structural property of the scenario rather than an accident of
+	// scheduling history: wire link deliveries on delayed cables use the
+	// link's topology-assigned key here, which is what lets the sharded
+	// runtime (internal/shard) replay cross-shard arrivals byte-exactly.
+	prio   uint64
+	seq    uint64 // tie-break: FIFO among events at the same (at, prio)
 	fn     func()
 	index  int // heap index, -1 once popped or cancelled
 	cancel bool
 }
+
+// PrioDefault is the scheduling priority of the plain Schedule family:
+// it sorts after every explicit priority, so same-instant events without
+// one fire in FIFO order exactly as before priorities existed.
+const PrioDefault = ^uint64(0)
 
 // At returns the instant the event is scheduled for.
 func (ev *Event) At() Time { return ev.at }
@@ -29,37 +42,148 @@ func (ev *Event) Cancelled() bool { return ev.cancel }
 // fire (a cancelled-but-unpopped event still counts as pending).
 func (ev *Event) Pending() bool { return ev.index != -1 }
 
-// eventHeap orders events by time, then by insertion sequence so that
-// events scheduled for the same instant fire in FIFO order. Deterministic
-// ordering is essential: experiment results must not depend on map or heap
-// tie-breaking accidents.
-type eventHeap []*Event
+// The event queue is a 4-ary min-heap over (at, prio, seq): time first,
+// then explicit priority, then insertion sequence. Events scheduled
+// without a priority carry PrioDefault, so among themselves they fire in
+// FIFO order — deterministic ordering is essential: experiment results
+// must not depend on map or heap tie-breaking accidents. Explicit
+// priorities order same-instant events by a structural key of the
+// scenario (a delayed link's topology ordinal) instead of scheduling
+// history, which is what makes a partitioned run (internal/shard)
+// reproduce a single-engine run to the byte.
+//
+// The heap is hand-inlined rather than built on container/heap: that
+// package moves every element through `any` and dispatches every
+// comparison through an interface table, which costs real time on a path
+// crossed once per scheduled event. Each heap entry additionally carries
+// the event's instant inline, so the sift loops decide the common
+// earlier/later case from contiguous slice memory and only dereference
+// two scattered Events on an exact-instant tie — at fat-tree queue
+// depths the pointer chase was the single hottest line in the whole
+// simulator. The heap is 4-ary rather than binary: a pop's sift-down
+// touches half the levels, and with 16-byte entries the four children it
+// scans per level sit in a single cache line, so the extra compares are
+// nearly free next to the misses they replace. The loops hole-shift: the
+// moving entry stays in registers while the others shift into the hole,
+// halving the stores of a swap-based sift.
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// heapEntry is one queued event with its arrival instant denormalised
+// alongside the pointer: the sift loops and the RunUntil horizon check
+// read contiguous slice memory for the common earlier/later verdict and
+// only dereference the Events on an exact-instant tie (broken by prio,
+// then seq). The instant is authoritative while queued: Reprogram
+// rewrites the Event's fields and then re-keys the entry via fix.
+type heapEntry struct {
+	at Time
+	ev *Event
+}
+
+// entryKey builds ev's heap entry from its current sort key.
+func entryKey(ev *Event) heapEntry {
+	return heapEntry{at: ev.at, ev: ev}
+}
+
+// entryLess orders the heap: earlier instant first, then lower explicit
+// priority, then FIFO by insertion sequence.
+func entryLess(a, b *heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	ea, eb := a.ev, b.ev
+	if ea.prio != eb.prio {
+		return ea.prio < eb.prio
+	}
+	return ea.seq < eb.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// push appends ev to the queue and sifts it up to its heap position.
+func (e *Engine) push(ev *Event) {
+	q := append(e.queue, entryKey(ev))
+	i := len(q) - 1
+	entry := q[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !entryLess(&entry, &q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].ev.index = i
+		i = parent
+	}
+	q[i] = entry
+	entry.ev.index = i
+	e.queue = q
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+// pop removes and returns the minimum event, marking it popped.
+func (e *Engine) pop() *Event {
+	q := e.queue
+	min := q[0].ev
+	min.index = -1
+	n := len(q) - 1
+	last := q[n]
+	q[n].ev = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(last, 0)
+	}
+	return min
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// siftDown places entry at heap index i and sinks it until no child is
+// smaller.
+func (e *Engine) siftDown(entry heapEntry, i int) {
+	q := e.queue
+	n := len(q)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if entryLess(&q[j], &q[m]) {
+				m = j
+			}
+		}
+		if !entryLess(&q[m], &entry) {
+			break
+		}
+		q[i] = q[m]
+		q[i].ev.index = i
+		i = m
+	}
+	q[i] = entry
+	entry.ev.index = i
+}
+
+// fix re-keys the entry holding ev (whose at/seq just changed) and
+// re-establishes heap order: sift up first, and only if the entry did
+// not move, down.
+func (e *Engine) fix(ev *Event) {
+	q := e.queue
+	start := ev.index
+	entry := entryKey(ev)
+	i := start
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !entryLess(&entry, &q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].ev.index = i
+		i = parent
+	}
+	if i != start {
+		q[i] = entry
+		entry.ev.index = i
+		return
+	}
+	e.siftDown(entry, i)
 }
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
@@ -70,7 +194,7 @@ func (h *eventHeap) Pop() any {
 // a design requirement (see DESIGN.md).
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   []heapEntry
 	seq     uint64
 	running bool
 	fired   uint64
@@ -98,9 +222,25 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := &Event{at: at, prio: PrioDefault, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
+	return ev
+}
+
+// SchedulePrio queues fn to run at instant at with an explicit
+// same-instant priority: among events at one instant, lower prio fires
+// first and PrioDefault fires last (in FIFO order). Wire links use a
+// delayed cable's topology key here so simultaneous arrivals on
+// different cables are served in a structural order rather than whatever
+// order their delivery events happened to be armed in.
+func (e *Engine) SchedulePrio(at Time, prio uint64, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, prio: prio, seq: e.seq, fn: fn}
+	e.seq++
+	e.push(ev)
 	return ev
 }
 
@@ -125,10 +265,28 @@ func (e *Engine) Reschedule(ev *Event, at Time) {
 		panic("sim: reschedule of an event still in the queue")
 	}
 	ev.at = at
+	ev.prio = PrioDefault
 	ev.seq = e.seq
 	ev.cancel = false
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
+}
+
+// ReschedulePrio is Reschedule with an explicit same-instant priority,
+// the reusable-event spelling of SchedulePrio.
+func (e *Engine) ReschedulePrio(ev *Event, at Time, prio uint64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, e.now))
+	}
+	if ev.index != -1 {
+		panic("sim: reschedule of an event still in the queue")
+	}
+	ev.at = at
+	ev.prio = prio
+	ev.seq = e.seq
+	ev.cancel = false
+	e.seq++
+	e.push(ev)
 }
 
 // RescheduleAfter re-arms a fired event d after the current instant.
@@ -153,10 +311,11 @@ func (e *Engine) Reprogram(ev *Event, at Time) {
 		return
 	}
 	ev.at = at
+	ev.prio = PrioDefault
 	ev.seq = e.seq
 	ev.cancel = false
 	e.seq++
-	heap.Fix(&e.queue, ev.index)
+	e.fix(ev)
 }
 
 // Step executes the next pending event, advancing the clock to its instant.
@@ -164,7 +323,7 @@ func (e *Engine) Reprogram(ev *Event, at Time) {
 // without advancing the clock.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.pop()
 		if ev.cancel {
 			continue
 		}
@@ -188,12 +347,19 @@ func (e *Engine) Run() {
 // clock to t. Events scheduled after t remain queued.
 func (e *Engine) RunUntil(t Time) {
 	e.running = true
-	for e.running {
-		next, ok := e.peek()
-		if !ok || next > t {
+	for e.running && len(e.queue) > 0 {
+		if e.queue[0].at > t {
 			break
 		}
-		e.Step()
+		head := e.queue[0].ev
+		if head.cancel {
+			e.pop()
+			continue
+		}
+		e.pop()
+		e.now = head.at
+		e.fired++
+		head.fn()
 	}
 	e.running = false
 	if e.now < t {
@@ -215,8 +381,8 @@ func (e *Engine) Peek() (Time, bool) { return e.peek() }
 
 func (e *Engine) peek() (Time, bool) {
 	for len(e.queue) > 0 {
-		if e.queue[0].cancel {
-			heap.Pop(&e.queue)
+		if e.queue[0].ev.cancel {
+			e.pop()
 			continue
 		}
 		return e.queue[0].at, true
@@ -265,4 +431,17 @@ func (t *Ticker) Stop() {
 	if t.ev != nil {
 		t.ev.Cancel()
 	}
+}
+
+// Reset re-arms a stopped ticker to fire at t0 (and every period after),
+// reusing the ticker's event. It is the sanctioned stop-then-reuse path:
+// Stop leaves the event cancel-flagged — possibly still sitting in the
+// queue — and a bare Reschedule of it would panic on the pending case
+// and silently keep the cancel flag on the popped one. Reprogram handles
+// both: a still-queued event is re-keyed in place and a popped one is
+// re-armed, and either way the cancel flag clears. Resetting a running
+// ticker simply moves its next firing to t0.
+func (t *Ticker) Reset(t0 Time) {
+	t.stopped = false
+	t.engine.Reprogram(t.ev, t0)
 }

@@ -407,3 +407,28 @@ func BenchmarkCalendarQueue(b *testing.B) {
 	for q.Pop() != nil {
 	}
 }
+
+// BenchmarkEngineChurn is schedule/fire churn against a one-million-
+// pending event heap: every step fires the head event, which immediately
+// re-arms itself a pseudo-random span ahead, so the heap stays at 1M
+// entries and every operation pays a full-depth sift. This is the shape
+// a saturated fat-tree run drives the queue with, and the benchmark that
+// pins the inlined-heap win over container/heap (steady state allocates
+// nothing — the interface boxing of heap.Push/Pop would show up here as
+// allocs/op).
+func BenchmarkEngineChurn(b *testing.B) {
+	const pending = 1 << 20
+	e := NewEngine()
+	evs := make([]*Event, pending)
+	for i := range evs {
+		i := i
+		evs[i] = e.Schedule(Time(1+i), func() {
+			e.RescheduleAfter(evs[i], Duration(1+uint64(i)*2654435761%100000))
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		e.Step()
+	}
+}

@@ -1,0 +1,163 @@
+package sim
+
+import "testing"
+
+// TestTickerStopThenReset is the stop-then-reuse contract: a stopped
+// ticker's event stays cancel-flagged in the queue, and Reset must
+// revive it — clearing the flag and re-keying in place — so the ticker
+// fires again on the new grid.
+func TestTickerStopThenReset(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	tk := e.ScheduleEvery(10, 10, func() { fired = append(fired, e.Now()) })
+	e.RunUntil(25) // ticks at 10, 20
+	tk.Stop()
+	e.RunUntil(100) // stopped: nothing fires
+	if len(fired) != 2 {
+		t.Fatalf("pre-reset ticks = %v, want [10 20]", fired)
+	}
+	tk.Reset(150)
+	e.RunUntil(175) // ticks at 150, 160, 170
+	want := []Time{10, 20, 150, 160, 170}
+	if len(fired) != len(want) {
+		t.Fatalf("ticks = %v, want %v", fired, want)
+	}
+	for i, at := range want {
+		if fired[i] != at {
+			t.Fatalf("tick %d at %v, want %v", i, fired[i], at)
+		}
+	}
+}
+
+// TestTickerStopWhilePendingThenReset stops the ticker while its event
+// is still queued (between firings, from a foreign event) and resets it:
+// Reset must re-key the still-pending cancel-flagged event in place
+// rather than panic or leave it dead.
+func TestTickerStopWhilePendingThenReset(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	tk := e.ScheduleEvery(10, 10, func() { ticks++ })
+	e.Schedule(15, func() { // between ticks: tk.ev pending at 20
+		tk.Stop()
+		tk.Reset(30)
+	})
+	e.RunUntil(45) // tick at 10; reset moves 20 → 30; ticks at 30, 40
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3 (10, 30, 40)", ticks)
+	}
+}
+
+// TestTickerStopFromWithinFnThenReset covers stop-from-within-fn: the
+// callback stops its own ticker (event already popped, cancel flag set
+// on a fired event), and a later Reset must re-arm it cleanly.
+func TestTickerStopFromWithinFnThenReset(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	var tk *Ticker
+	tk = e.ScheduleEvery(10, 10, func() {
+		fired = append(fired, e.Now())
+		if e.Now() == 20 {
+			tk.Stop() // self-stop: no re-arm after this firing
+		}
+	})
+	e.Schedule(50, func() { tk.Reset(60) })
+	e.RunUntil(85) // ticks 10, 20 (self-stop), then 60, 70, 80
+	want := []Time{10, 20, 60, 70, 80}
+	if len(fired) != len(want) {
+		t.Fatalf("ticks = %v, want %v", fired, want)
+	}
+	for i, at := range want {
+		if fired[i] != at {
+			t.Fatalf("tick %d at %v, want %v", i, fired[i], at)
+		}
+	}
+}
+
+// TestTickerResetZeroAlloc pins the reuse contract: stop/reset cycles
+// ride the ticker's single event, never allocating a new one.
+func TestTickerResetZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	tk := e.ScheduleEvery(10, 10, func() { ticks++ })
+	e.RunUntil(25)
+	allocs := testing.AllocsPerRun(100, func() {
+		tk.Stop()
+		tk.Reset(e.Now().Add(5))
+		e.RunFor(20)
+	})
+	if allocs != 0 {
+		t.Fatalf("stop/reset cycle allocates %v per run, want 0", allocs)
+	}
+	if ticks == 0 {
+		t.Fatal("ticker never fired")
+	}
+}
+
+// TestPropertyHeapChurn drives the inlined heap through a deterministic
+// pseudo-random mix of Schedule, Cancel, Reprogram and Step, asserting
+// the popped sequence never goes backwards in (at, seq) order and that
+// every index stays consistent. It is the regression harness for the
+// hand-written sift loops replacing container/heap.
+func TestPropertyHeapChurn(t *testing.T) {
+	e := NewEngine()
+	r := NewRand(0xc0ffee)
+	var live []*Event
+	fired := 0
+	check := func() {
+		// Heap invariant: parent ≤ child at every node of the 4-ary
+		// heap, inline keys in sync with the events they denormalise,
+		// indices consistent.
+		for i := 1; i < len(e.queue); i++ {
+			p := (i - 1) / 4
+			if entryLess(&e.queue[i], &e.queue[p]) {
+				t.Fatalf("heap violation at %d", i)
+			}
+		}
+		for i := range e.queue {
+			ev := e.queue[i].ev
+			if ev.index != i {
+				t.Fatalf("index mismatch at %d: %d", i, ev.index)
+			}
+			if e.queue[i].at != ev.at {
+				t.Fatalf("stale inline key at %d", i)
+			}
+		}
+	}
+	for op := 0; op < 20000; op++ {
+		switch r.Intn(5) {
+		case 0, 1: // schedule
+			at := e.Now().Add(Duration(r.Intn(1000)))
+			live = append(live, e.Schedule(at, func() { fired++ }))
+		case 2: // cancel a random live event
+			if len(live) > 0 {
+				live[r.Intn(len(live))].Cancel()
+			}
+		case 3: // reprogram a random live event
+			if len(live) > 0 {
+				ev := live[r.Intn(len(live))]
+				e.Reprogram(ev, e.Now().Add(Duration(r.Intn(1000))))
+			}
+		case 4: // step
+			before := e.Now()
+			if e.Step() {
+				if e.Now() < before {
+					t.Fatalf("clock went backwards: %v → %v", before, e.Now())
+				}
+			}
+		}
+		if op%128 == 0 {
+			check()
+		}
+	}
+	// Drain; instants must be non-decreasing.
+	prev := e.Now()
+	for e.Step() {
+		if e.Now() < prev {
+			t.Fatalf("drain went backwards: %v → %v", prev, e.Now())
+		}
+		prev = e.Now()
+	}
+	if fired == 0 {
+		t.Fatal("churn fired nothing")
+	}
+}

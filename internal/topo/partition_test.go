@@ -1,0 +1,199 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"osnt/internal/netfpga"
+	"osnt/internal/sim"
+	"osnt/internal/switchsim"
+	"osnt/internal/wire"
+)
+
+// passLink is a CrossLink stub for build-structure tests: it satisfies
+// the Partition contract shape without a shard runtime (nothing here
+// runs events across the cut).
+func passLink(src, dst int, e *sim.Engine, rate wire.Rate, delay sim.Duration, peer wire.Endpoint) *wire.Link {
+	return wire.NewLink(e, rate, delay, peer)
+}
+
+// twoShards maps t0/sw0 to shard 0 and everything else to shard 1.
+func twoShards(name string) int {
+	if name == "t0" || name == "sw0" {
+		return 0
+	}
+	return 1
+}
+
+func twoEnginePartition() Partition {
+	return Partition{
+		Engines:   []*sim.Engine{sim.NewEngine(), sim.NewEngine()},
+		ShardOf:   twoShards,
+		CrossLink: passLink,
+	}
+}
+
+// wantPartitionError asserts BuildPartitioned fails mentioning every
+// fragment.
+func wantPartitionError(t *testing.T, b *Builder, p Partition, fragments ...string) {
+	t.Helper()
+	_, err := b.BuildPartitioned(p)
+	if err == nil {
+		t.Fatal("BuildPartitioned succeeded, want validation error")
+	}
+	for _, frag := range fragments {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %q", err, frag)
+		}
+	}
+}
+
+func TestPartitionRejectsZeroDelayCutEdge(t *testing.T) {
+	wantPartitionError(t,
+		New().Tester("t0", netfpga.Config{}).Tester("t1", netfpga.Config{}).
+			Link("t0:0", "t1:0"), // zero delay across the cut
+		twoEnginePartition(),
+		"cross-shard edge", "zero propagation delay", "lookahead")
+}
+
+func TestPartitionIntraShardZeroDelayStaysLegal(t *testing.T) {
+	// The same zero-delay edge is fine when both endpoints share a shard.
+	p := twoEnginePartition()
+	tp, err := New().
+		Tester("t0", netfpga.Config{Ports: 2}).
+		Tester("t1", netfpga.Config{}).
+		Link("t0:0", "t0:1").
+		LinkAt("t0:1", "t1:0", 0, sim.Microsecond).
+		BuildPartitioned(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Shard("t0") != 0 || tp.Shard("t1") != 1 {
+		t.Fatalf("Shard(t0)=%d Shard(t1)=%d, want 0/1", tp.Shard("t0"), tp.Shard("t1"))
+	}
+}
+
+func TestPartitionValidatesItsOwnFields(t *testing.T) {
+	wantPartitionError(t,
+		New().Tester("t0", netfpga.Config{}),
+		Partition{},
+		"no engines")
+	wantPartitionError(t,
+		New().Tester("t0", netfpga.Config{}),
+		Partition{Engines: []*sim.Engine{sim.NewEngine(), sim.NewEngine()}},
+		"needs ShardOf and CrossLink")
+	p := twoEnginePartition()
+	p.ShardOf = func(string) int { return 7 }
+	wantPartitionError(t,
+		New().Tester("t0", netfpga.Config{}),
+		p,
+		`ShardOf("t0") = 7`, "outside [0, 2)")
+}
+
+func TestShardAccessorDefaultsToZero(t *testing.T) {
+	tp := New().Tester("t0", netfpga.Config{}).MustBuild(sim.NewEngine())
+	if tp.Shard("t0") != 0 {
+		t.Fatalf("single-engine Shard(t0) = %d", tp.Shard("t0"))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shard on an unknown node did not panic")
+		}
+	}()
+	tp.Shard("ghost")
+}
+
+// TestPartitionedDropsMerge exercises the per-shard ledger split: each
+// DUT reports into its own shard's private ledger under the global hop
+// numbering, and Topology.Drops merges the shards back into the
+// single-engine view.
+func TestPartitionedDropsMerge(t *testing.T) {
+	tp, err := New().
+		Tester("t0", netfpga.Config{}).
+		DUT("sw0", switchsim.Config{}).
+		DUT("sw1", switchsim.Config{}).
+		Tester("t1", netfpga.Config{}).
+		LinkAt("t0:0", "sw0:0", 0, sim.Microsecond).
+		LinkAt("sw0:1", "sw1:0", 0, sim.Microsecond).
+		LinkAt("sw1:1", "t1:0", 0, sim.Microsecond).
+		BuildPartitioned(twoEnginePartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.ledgers) != 2 {
+		t.Fatalf("partitioned build holds %d shard ledgers, want 2", len(tp.ledgers))
+	}
+	// Global numbering: both DUTs are registered on both the authority
+	// ledger and their own shard's.
+	h0, h1 := tp.Hop("sw0"), tp.Hop("sw1")
+	if tp.ledgers[0].Label(h0) != "sw0" || tp.ledgers[1].Label(h1) != "sw1" {
+		t.Fatalf("shard ledgers mislabel hops: %q / %q",
+			tp.ledgers[0].Label(h0), tp.ledgers[1].Label(h1))
+	}
+	// Report drops on each shard's private ledger — the way the devices
+	// do from the hot path — and check the merged snapshot.
+	tp.ledgers[0].Report(h0, wire.DropEgressOverflow, 3)
+	tp.ledgers[1].Report(h1, wire.DropEgressOverflow, 5)
+	m := tp.Drops()
+	if got := m.Count(h0, wire.DropEgressOverflow); got != 3 {
+		t.Fatalf("merged count for sw0 = %d, want 3", got)
+	}
+	if got := m.Count(h1, wire.DropEgressOverflow); got != 5 {
+		t.Fatalf("merged count for sw1 = %d, want 5", got)
+	}
+	if m.Total() != 8 {
+		t.Fatalf("merged total = %d, want 8", m.Total())
+	}
+	// Drops snapshots are fresh: reporting more afterwards shows up in a
+	// re-taken snapshot, not the old one.
+	tp.ledgers[0].Report(h0, wire.DropEgressOverflow, 1)
+	if m.Total() != 8 {
+		t.Fatal("snapshot mutated after the fact")
+	}
+	if tp.Drops().Total() != 9 {
+		t.Fatalf("fresh snapshot total = %d, want 9", tp.Drops().Total())
+	}
+}
+
+// TestDeliveryKeysArePartitionIndependent pins the structural-priority
+// contract at the topo layer: every positive-delay link gets the same
+// delivery key whether the graph is built on one engine or across a
+// cut, because keys are assigned in edge-declaration order before any
+// partition concern. Zero-delay links keep wire's default (no key).
+func TestDeliveryKeysArePartitionIndependent(t *testing.T) {
+	declare := func() *Builder {
+		return New().
+			Tester("t0", netfpga.Config{Ports: 2}).
+			Tester("t1", netfpga.Config{Ports: 2}).
+			Link("t0:1", "t0:0"). // zero delay: no key
+			LinkAt("t0:0", "t1:0", 0, sim.Microsecond).
+			LinkAt("t1:0", "t0:1", 0, 2*sim.Microsecond)
+	}
+	keys := func(tp *Topology) []uint64 {
+		var out []uint64
+		for _, ref := range []string{"t0:1", "t0:0", "t1:0"} {
+			out = append(out, tp.Port(ref).Link().DeliveryKey())
+		}
+		return out
+	}
+	single, err := declare().Build(sim.NewEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := declare().BuildPartitioned(twoEnginePartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, kp := keys(single), keys(split)
+	for i := range ks {
+		if ks[i] != kp[i] {
+			t.Fatalf("delivery keys diverge across partitioning: single %v, split %v", ks, kp)
+		}
+	}
+	if ks[0] != sim.PrioDefault {
+		t.Fatalf("zero-delay link carries key %d, want the PrioDefault sentinel", ks[0])
+	}
+	if ks[1] != 1 || ks[2] != 2 {
+		t.Fatalf("positive-delay links keyed %v, want declaration order 1, 2", ks[1:])
+	}
+}

@@ -92,6 +92,10 @@ type node struct {
 	// share a namespace).
 	hop int
 
+	// shard is the engine index the node was instantiated on (0 for
+	// single-engine builds).
+	shard int
+
 	// instantiated handles (one of these, post-Build). The sink lives in
 	// the node itself: one allocation per node, not two.
 	tester *core.Device
@@ -400,6 +404,29 @@ func validationError(errs []error) error {
 	return fmt.Errorf("topo: invalid scenario graph:\n  %s", strings.Join(msgs, "\n  "))
 }
 
+// Partition describes how to split a scenario graph across several
+// engines — the topology side of sharded (conservative-lookahead)
+// execution. Engines lists one sim.Engine per shard; ShardOf maps a node
+// name to its shard index; CrossLink builds the boundary link for an
+// edge whose endpoints landed on different shards (typically
+// shard.Cluster.CrossLink, which turns the edge into an export channel
+// drained at window barriers). With a single engine the other two fields
+// are unused and BuildPartitioned degenerates to exactly Build.
+type Partition struct {
+	// Engines holds one engine per shard; len(Engines) is the shard
+	// count and must be ≥ 1.
+	Engines []*sim.Engine
+	// ShardOf maps a node name to its shard in [0, len(Engines)).
+	// Required when len(Engines) > 1.
+	ShardOf func(name string) int
+	// CrossLink builds the egress link for a cross-shard edge: src and
+	// dst are the shard indices, e is the transmitting shard's engine,
+	// and peer is the receiving device's endpoint (owned by shard dst —
+	// the link must not deliver into it directly). Required when
+	// len(Engines) > 1.
+	CrossLink func(src, dst int, e *sim.Engine, rate wire.Rate, delay sim.Duration, peer wire.Endpoint) *wire.Link
+}
+
 // Build validates the graph and instantiates it on engine e: every node
 // becomes a device, every edge a wire.Link. Node-declaration errors are
 // reported before anything is built; edge errors are reported all at
@@ -409,11 +436,47 @@ func validationError(errs []error) error {
 // node handles, so building the same graph on a second engine requires
 // declaring it again.
 func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
+	return b.BuildPartitioned(Partition{Engines: []*sim.Engine{e}})
+}
+
+// BuildPartitioned is Build across a Partition: every node is
+// instantiated on its shard's engine, intra-shard edges become ordinary
+// wire.Links on that engine, and cross-shard edges go through
+// p.CrossLink. Hop IDs are assigned globally (the same numbering a
+// single-shard build produces), but each device reports drops into a
+// private per-shard ledger so the hot path never crosses a shard;
+// Topology.Drops merges them back into the single-shard view.
+//
+// A cross-shard edge with zero propagation delay is a validation error:
+// the delay of the cut edges is the conservative-lookahead budget that
+// lets shards advance in parallel, and a zero-delay cut would force the
+// window to zero width. (Intra-shard edges may keep zero delay.)
+func (b *Builder) BuildPartitioned(p Partition) (*Topology, error) {
 	if b.built {
 		return nil, fmt.Errorf("topo: Build called twice on one Builder (declare the graph again for a second engine)")
 	}
+	if len(p.Engines) == 0 {
+		return nil, validationError([]error{fmt.Errorf("topo: partition has no engines")})
+	}
+	single := len(p.Engines) == 1
+	if !single && (p.ShardOf == nil || p.CrossLink == nil) {
+		return nil, validationError([]error{fmt.Errorf("topo: a %d-shard partition needs ShardOf and CrossLink", len(p.Engines))})
+	}
 	if len(b.errs) > 0 {
 		return nil, validationError(b.errs)
+	}
+
+	// Assign shards before instantiation (devices must be constructed on
+	// their own engine). A ShardOf out of range is a description error.
+	if !single {
+		for _, n := range b.nodes {
+			s := p.ShardOf(n.name)
+			if s < 0 || s >= len(p.Engines) {
+				return nil, validationError([]error{fmt.Errorf("topo: ShardOf(%q) = %d, outside [0, %d)",
+					n.name, s, len(p.Engines))})
+			}
+			n.shard = s
+		}
 	}
 
 	// DUTs get sequential hop IDs (1-based, declaration order) unless
@@ -441,6 +504,7 @@ func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
 	// identity, never event timing.
 	nextHop := 1
 	for _, n := range b.nodes {
+		e := p.Engines[n.shard]
 		switch n.kind {
 		case kindTester:
 			n.tester = core.NewDevice(e, n.testerCfg)
@@ -466,21 +530,43 @@ func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
 	// other device that can lose frames — OpenFlow switches, tester
 	// cards, and later each attached monitor — registers at the next
 	// free hop in declaration order.
+	//
+	// Sharded builds keep that numbering global (drops stays the
+	// assignment authority) but give every shard a private ledger
+	// holding only its own devices' labels and counts: reporting a drop
+	// is then a plain array increment with no cross-shard write, and
+	// Topology.Drops merges the shards back into the single view.
 	drops := &wire.DropLedger{}
+	ledgers := make([]*wire.DropLedger, len(p.Engines))
+	if single {
+		ledgers[0] = drops
+	} else {
+		for i := range ledgers {
+			ledgers[i] = &wire.DropLedger{}
+		}
+	}
+	register := func(n *node) {
+		if !single {
+			ledgers[n.shard].Register(n.hop, n.name)
+		}
+	}
 	for _, n := range b.nodes {
 		if n.kind == kindDUT {
 			drops.Register(n.hop, n.name)
-			n.dut.SetDropSite(drops, n.hop)
+			register(n)
+			n.dut.SetDropSite(ledgers[n.shard], n.hop)
 		}
 	}
 	for _, n := range b.nodes {
 		switch n.kind {
 		case kindOFSwitch:
 			n.hop = drops.Add(n.name)
-			n.of.SetDropSite(drops, n.hop)
+			register(n)
+			n.of.SetDropSite(ledgers[n.shard], n.hop)
 		case kindTester:
 			n.hop = drops.Add(n.name)
-			n.tester.Card.SetDropSite(drops, n.hop)
+			register(n)
+			n.tester.Card.SetDropSite(ledgers[n.shard], n.hop)
 		}
 	}
 
@@ -584,6 +670,16 @@ func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
 		if rate == 0 {
 			rate = wire.Rate10G // sink-to-sink never happens; belt and braces
 		}
+		// A cut edge with no propagation delay would give the shard pair
+		// zero lookahead: the receiving shard could never advance without
+		// risking a same-instant arrival from its neighbour. Demand the
+		// delay at build time rather than deadlock (or diverge) at run
+		// time.
+		if from.n.shard != to.n.shard && edge.Delay <= 0 {
+			fail(fmt.Errorf("topo: cross-shard edge %s → %s (shard %d → %d) has zero propagation delay; cut edges need a positive delay (the conservative-lookahead budget)",
+				edge.From, edge.To, from.n.shard, to.n.shard))
+			continue
+		}
 		wires = append(wires, resolved{from: from, to: to, rate: rate, delay: edge.Delay})
 	}
 
@@ -612,14 +708,38 @@ func (b *Builder) Build(e *sim.Engine) (*Topology, error) {
 		return nil, validationError(errs)
 	}
 
+	// Delivery keys: every positive-delay link gets a unique structural
+	// key, assigned in edge-declaration order. Same-instant arrivals at a
+	// device then fire in cable order — a property of the wiring alone.
+	// The edge walk is identical at every shard count, so the keys (and
+	// with them every same-instant ordering decision) are partition
+	// independent: the foundation of the byte-identical-digests contract.
+	// Zero-delay links keep wire's default (plain FIFO), which preserves
+	// the historical event order of every delay-free topology exactly.
+	deliveryKey := uint64(1)
 	for _, w := range wires {
-		w.from.n.setLink(w.from.port, wire.NewLink(e, w.rate, w.delay, w.to.n.rxEndpoint(w.to.port)))
+		peer := w.to.n.rxEndpoint(w.to.port)
+		var l *wire.Link
+		if w.from.n.shard == w.to.n.shard {
+			l = wire.NewLink(p.Engines[w.from.n.shard], w.rate, w.delay, peer)
+		} else {
+			l = p.CrossLink(w.from.n.shard, w.to.n.shard, p.Engines[w.from.n.shard], w.rate, w.delay, peer)
+		}
+		if w.delay > 0 {
+			l.SetDeliveryKey(deliveryKey)
+			deliveryKey++
+		}
+		w.from.n.setLink(w.from.port, l)
 	}
 
 	// The topology takes over the builder's name index; the built flag
 	// keeps a stale Builder from re-pointing these handles elsewhere.
 	b.built = true
-	return &Topology{Engine: e, byName: b.byName, drops: drops}, nil
+	t := &Topology{Engine: p.Engines[0], byName: b.byName, drops: drops}
+	if !single {
+		t.ledgers = ledgers
+	}
+	return t, nil
 }
 
 // MustBuild is Build, panicking on validation errors — the spelling for
@@ -633,12 +753,16 @@ func (b *Builder) MustBuild(e *sim.Engine) *Topology {
 }
 
 // Topology is an instantiated scenario graph: named handles onto the
-// devices living on one engine.
+// devices living on one engine (or, for partitioned builds, one engine
+// per shard — Engine then holds shard 0's).
 type Topology struct {
 	Engine *sim.Engine
 
 	byName map[string]*node
 	drops  *wire.DropLedger
+	// ledgers holds the per-shard drop ledgers of a partitioned build
+	// (nil for single-engine builds, where drops is the one ledger).
+	ledgers []*wire.DropLedger
 }
 
 // Drops returns the scenario's loss-attribution ledger: every device
@@ -646,7 +770,33 @@ type Topology struct {
 // AttachMonitor) reports its discarded frames into it as (hop, reason),
 // so sent = delivered + Σ ledger drops holds across the whole graph.
 // stats.NewLossMap reduces it to the printable per-hop table.
-func (t *Topology) Drops() *wire.DropLedger { return t.drops }
+//
+// On a partitioned build each shard owns a private ledger and Drops
+// merges them into a fresh snapshot under the global hop numbering —
+// byte-identical to what a single-shard build of the same graph reports.
+// Take the snapshot only while no shard is running (after the cluster's
+// barriers), and re-call it for fresh counts.
+func (t *Topology) Drops() *wire.DropLedger {
+	if t.ledgers == nil {
+		return t.drops
+	}
+	m := &wire.DropLedger{}
+	m.Merge(t.drops) // global labels, zero counts
+	for _, l := range t.ledgers {
+		m.Merge(l)
+	}
+	return m
+}
+
+// Shard returns the shard index a node was instantiated on (0 for
+// single-engine builds).
+func (t *Topology) Shard(name string) int {
+	n, ok := t.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("topo: no node %q", name))
+	}
+	return n.shard
+}
 
 // Hop returns a node's loss-ledger hop ID (for DUTs, also its HopTrace
 // hop ID).
@@ -709,8 +859,17 @@ func (t *Topology) AttachMonitor(ref string, cfg mon.Config) *mon.Monitor {
 		panic(fmt.Sprintf("topo: monitor on %s: %v", ref, err))
 	}
 	// The monitor is a loss point of its own (filter rejects, DMA ring
-	// overflow): register it on the scenario ledger in attach order.
-	m.SetDropSite(t.drops, t.drops.Add("mon:"+ref))
+	// overflow): register it on the scenario ledger in attach order. On a
+	// partitioned build the hop ID still comes from the global numbering,
+	// but the counts land on the monitored port's shard ledger.
+	hop := t.drops.Add("mon:" + ref)
+	ledger := t.drops
+	if t.ledgers != nil {
+		ep, _ := resolveRef(t.byName, ref) // t.Port above already validated ref
+		ledger = t.ledgers[ep.n.shard]
+		ledger.Register(hop, "mon:"+ref)
+	}
+	m.SetDropSite(ledger, hop)
 	return m
 }
 

@@ -190,6 +190,29 @@ func (l *DropLedger) ReasonTotal(reason DropReason) uint64 {
 	return n
 }
 
+// Merge folds src into l: counts add hop by hop and src's labels are
+// adopted wherever l has none. It is the reduction step for sharded
+// scenarios, where each shard owns a private ledger (devices report only
+// into their own shard's) but hop IDs are assigned globally — so merging
+// the per-shard ledgers reproduces exactly the single ledger a
+// single-shard build would have written.
+func (l *DropLedger) Merge(src *DropLedger) {
+	if l == nil || src == nil {
+		return
+	}
+	if len(src.hops) > 0 {
+		l.grow(len(src.hops) - 1)
+	}
+	for hop := range src.hops {
+		if lbl := src.hops[hop].label; lbl != "" && l.hops[hop].label == "" {
+			l.hops[hop].label = lbl
+		}
+		for r := range src.hops[hop].counts {
+			l.hops[hop].counts[r] += src.hops[hop].counts[r]
+		}
+	}
+}
+
 // Total returns every attributed drop in the ledger — the Σ in
 // sent = delivered + Σ attributed drops.
 func (l *DropLedger) Total() uint64 {

@@ -124,6 +124,16 @@ func (l *Link) TransmitTrain(t *Train, earliest sim.Time) sim.Time {
 	}
 	l.busyUntil = end
 	l.txFrames += uint64(len(t.Frames))
+	if l.exporter != nil {
+		// Boundary link: the whole run transfers to the destination shard
+		// as one record; per-frame boundaries replay from Rate there. The
+		// record carries the link's delivery key, exactly as a local train
+		// delivery event would (it fires at the FIRST frame's arrival).
+		t.Rate = l.Rate
+		firstEnd := start.Add(SerializationTime(t.Frames[0].Size, l.Rate))
+		l.exporter.ExportTrain(t, start.Add(l.Delay), firstEnd.Add(l.Delay), l.deliverPrio)
+		return end
+	}
 	if l.Peer == nil {
 		l.drops += uint64(len(t.Frames))
 		l.ledger.Report(l.hop, DropUnterminated, uint64(len(t.Frames)))
@@ -142,9 +152,9 @@ func (l *Link) TransmitTrain(t *Train, earliest sim.Time) sim.Time {
 		}
 		if l.deliverEv == nil {
 			//lint:ignore hotpathalloc one-time event creation per link; steady state reschedules
-			l.deliverEv = l.Engine.Schedule(eventAt, l.deliver)
+			l.deliverEv = l.Engine.SchedulePrio(eventAt, l.deliverPrio, l.deliver)
 		} else {
-			l.Engine.Reschedule(l.deliverEv, eventAt)
+			l.Engine.ReschedulePrio(l.deliverEv, eventAt, l.deliverPrio)
 		}
 	}
 	return end

@@ -212,6 +212,19 @@ type Link struct {
 	ledger *DropLedger
 	hop    int
 
+	// exporter, when non-nil, marks a shard-boundary link: serialisation
+	// happens here, delivery happens in another shard (see NewExportLink).
+	exporter Exporter
+
+	// deliverPrio is the same-instant scheduling priority of this link's
+	// delivery events. It defaults to sim.PrioDefault (plain FIFO among
+	// same-instant events, the historical behaviour); topo assigns every
+	// positive-delay link a unique structural key (SetDeliveryKey), which
+	// makes simultaneous arrivals on different cables at one device fire
+	// in cable order — a property of the topology, not of scheduling
+	// history, and therefore identical at every shard count.
+	deliverPrio uint64
+
 	// pending is the in-flight FIFO: frames serialised but not yet
 	// delivered, in departure (= arrival) order. One reusable event —
 	// armed at the head's arrival instant — drains it, so a burst of N
@@ -245,37 +258,19 @@ func (l *Link) deliver() {
 		if now := l.Engine.Now(); eventAt < now {
 			eventAt = now
 		}
-		l.Engine.Reschedule(l.deliverEv, eventAt)
+		l.Engine.ReschedulePrio(l.deliverEv, eventAt, l.deliverPrio)
 	}
 	if d.train == nil {
 		l.Peer.Receive(d.f, d.firstBit, d.lastBit)
 		return
 	}
-	if tep, ok := l.Peer.(TrainEndpoint); ok {
-		tep.ReceiveTrain(d.train, d.firstBit, d.lastBit)
-		return
-	}
-	// Per-frame fallback: recover each frame's exact boundary instants
-	// from the train arithmetic. Frames abut, so frame k's first bit
-	// arrives the instant frame k-1's last bit did.
-	t := d.train
-	fb, lb := d.firstBit, d.lastBit
-	for i, f := range t.Frames {
-		t.Frames[i] = nil
-		l.Peer.Receive(f, fb, lb)
-		if i+1 < len(t.Frames) {
-			fb = lb
-			lb = fb.Add(SerializationTime(t.Frames[i+1].Size, t.Rate))
-		}
-	}
-	t.Frames = t.Frames[:0]
-	t.Recycle()
+	DeliverTrain(l.Peer, d.train, d.firstBit, d.lastBit)
 }
 
 // NewLink builds a link on engine e at rate r with propagation delay d,
 // delivering into peer.
 func NewLink(e *sim.Engine, r Rate, d sim.Duration, peer Endpoint) *Link {
-	return &Link{Engine: e, Rate: r, Delay: d, Peer: peer}
+	return &Link{Engine: e, Rate: r, Delay: d, Peer: peer, deliverPrio: sim.PrioDefault}
 }
 
 // Transmit queues the frame for serialisation at the earliest instant the
@@ -304,6 +299,14 @@ func (l *Link) TransmitAt(f *Frame, earliest sim.Time) sim.Time {
 	l.busyUntil = end
 	l.txFrames++
 	l.txBytes += uint64(WireBytes(f.Size))
+	if l.exporter != nil {
+		// Boundary link: ownership of the frame transfers with the call;
+		// the destination shard replays it at the computed instants under
+		// this link's delivery key, so it lands in exactly the heap
+		// position a local delivery event would occupy.
+		l.exporter.ExportFrame(f, start.Add(l.Delay), end.Add(l.Delay), l.deliverPrio)
+		return end
+	}
 	if l.Peer == nil {
 		// Unterminated link: the frame occupies the wire but nobody
 		// receives it. Account the loss and recycle the frame.
@@ -324,13 +327,24 @@ func (l *Link) TransmitAt(f *Frame, earliest sim.Time) sim.Time {
 		}
 		if l.deliverEv == nil {
 			//lint:ignore hotpathalloc one-time event creation per link; steady state reschedules
-			l.deliverEv = l.Engine.Schedule(eventAt, l.deliver)
+			l.deliverEv = l.Engine.SchedulePrio(eventAt, l.deliverPrio, l.deliver)
 		} else {
-			l.Engine.Reschedule(l.deliverEv, eventAt)
+			l.Engine.ReschedulePrio(l.deliverEv, eventAt, l.deliverPrio)
 		}
 	}
 	return end
 }
+
+// SetDeliveryKey assigns the link's structural delivery key: the
+// same-instant priority of its delivery events. Topology builders assign
+// a unique key per positive-delay link in build order, which totally
+// orders simultaneous arrivals at a device by cable rather than by
+// scheduling history (see sim.SchedulePrio). Links without a key keep
+// sim.PrioDefault — plain FIFO, the historical behaviour.
+func (l *Link) SetDeliveryKey(key uint64) { l.deliverPrio = key }
+
+// DeliveryKey returns the link's structural delivery key.
+func (l *Link) DeliveryKey() uint64 { return l.deliverPrio }
 
 // SetDropSite attaches the scenario's loss-attribution ledger: drops on
 // this link (unterminated-fibre frames) report as (hop, reason) into it.
